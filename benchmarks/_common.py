@@ -1,0 +1,40 @@
+"""Shared benchmark configuration and result emission.
+
+Every benchmark regenerates one table/figure of the paper.  Simulation
+scale is controlled with ``REPRO_BENCH_SCALE`` (default 0.5; the paper's
+runs are ~100x larger still — see DESIGN.md).  Rendered tables go both
+to stdout and to ``benchmarks/results/<name>.txt`` so results survive
+pytest's output capture.
+
+``paper_comparison`` memoizes the full 12-workload x 7-scheme sweep so
+the Fig. 11 and Fig. 12 benchmarks (which read different columns of the
+same runs) only pay for it once per session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+from repro.harness.runner import RunRecord, compare
+from repro.workloads import PAPER_WORKLOADS
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_comparison_cache: Dict[str, Dict[str, RunRecord]] = {}
+
+
+def paper_comparison() -> Dict[str, Dict[str, RunRecord]]:
+    """The full scheme comparison over all twelve paper workloads."""
+    if not _comparison_cache:
+        for workload in PAPER_WORKLOADS:
+            _comparison_cache[workload] = compare(workload, scale=SCALE)
+    return _comparison_cache
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

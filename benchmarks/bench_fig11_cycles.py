@@ -1,0 +1,54 @@
+"""Fig. 11: normalized execution cycles, 16 worker threads.
+
+Regenerates the paper's headline performance figure: wall-clock cycles
+of every scheme on every workload, normalized to an ideal NVM system
+without snapshotting.  Expected shape (paper §VII-A): software schemes
+several times slower, HW shadow paging moderately slower (synchronous
+table commit), PiCL / PiCL-L2 / NVOverlay ≈ 1.0 on most workloads.
+"""
+
+from repro.harness import report
+from repro.workloads import PAPER_WORKLOADS
+
+from _common import emit, paper_comparison
+
+SCHEME_ORDER = ["sw_logging", "sw_shadow", "hw_shadow", "picl", "picl_l2", "nvoverlay"]
+
+
+def test_fig11_normalized_cycles(benchmark):
+    records = benchmark.pedantic(paper_comparison, rounds=1, iterations=1)
+    rows = {
+        workload: {
+            scheme: records[workload][scheme].extra["normalized_cycles"]
+            for scheme in SCHEME_ORDER
+        }
+        for workload in PAPER_WORKLOADS
+    }
+    emit(
+        "fig11",
+        report.format_table(
+            "Fig. 11: cycles normalized to no-snapshot baseline",
+            SCHEME_ORDER,
+            rows,
+        ),
+    )
+
+    for workload, row in rows.items():
+        # Software schemes pay persistence barriers on every workload
+        # (read-heavy ones like vacation only slightly, as in the paper).
+        assert row["sw_logging"] > 1.0, f"{workload}: SW logging too fast"
+        # NVOverlay hides snapshotting overhead (≈1.0, paper: 1.0-1.7).
+        assert row["nvoverlay"] < 1.8, f"{workload}: NVOverlay overhead leaked"
+        # PiCL also overlaps persistence with execution.
+        assert row["picl"] < 1.8, f"{workload}: PiCL overhead leaked"
+    # Write-heavy index workloads pay the barrier storm hardest.
+    for workload in ("btree", "art", "rbtree"):
+        assert rows[workload]["sw_logging"] > 2.0, f"{workload}: barriers too cheap"
+
+    # Aggregate ordering: SW logging is the slowest family, and the
+    # hardware background schemes beat HW shadow's synchronous commits.
+    def mean(scheme):
+        return sum(row[scheme] for row in rows.values()) / len(rows)
+
+    assert mean("sw_logging") > mean("hw_shadow") > mean("nvoverlay")
+    assert mean("sw_shadow") > mean("picl")

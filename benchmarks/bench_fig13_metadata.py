@@ -1,0 +1,40 @@
+"""Fig. 13: persistent mapping metadata cost.
+
+Master Table size as a percentage of the write working set.  Expected
+shape (paper §VII-C): most workloads sit near the radix tree's 12.5%
+theoretical floor (one 8-byte leaf entry per 64-byte line); yada's
+sparse mesh keeps inner nodes nearly empty and stands out well above the
+pack (the effect is exaggerated at our reduced scale because fixed
+upper-level nodes amortize over a smaller working set — EXPERIMENTS.md).
+"""
+
+from repro.harness import experiments, report
+from repro.workloads import PAPER_WORKLOADS
+
+from _common import SCALE, emit
+
+
+def test_fig13_metadata_cost(benchmark):
+    data = benchmark.pedantic(
+        lambda: experiments.fig13_metadata_cost(scale=max(SCALE, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {workload: {"master_table_pct": pct} for workload, pct in data.items()}
+    emit(
+        "fig13",
+        report.format_table(
+            "Fig. 13: Mmaster size (% of write working set)",
+            ["master_table_pct"],
+            rows,
+        ),
+    )
+
+    for workload, pct in data.items():
+        assert pct >= 12.5, f"{workload}: below the theoretical floor?"
+    # Dense-index workloads stay close to the floor...
+    for workload in ("btree", "hash_table", "kmeans", "rbtree"):
+        assert data[workload] < 35.0, f"{workload}: metadata cost too high"
+    # ...while yada's sparse pages are the clear outlier.
+    others = [pct for workload, pct in data.items() if workload != "yada"]
+    assert data["yada"] > max(others)

@@ -1,0 +1,64 @@
+"""Fig. 14: sensitivity to epoch size (ART benchmark).
+
+Sweeps the epoch length for PiCL, PiCL-L2 and NVOverlay.  Expected shape
+(paper §VII-D1): NVOverlay's cycles and writes are insensitive to the
+epoch size (its write-backs ride on coherence and capacity evictions),
+while the logging schemes' write amplification falls as epochs grow
+(fewer tag walks, fewer log entries).
+"""
+
+from repro.harness import experiments, report
+
+from _common import SCALE, emit
+
+EPOCH_SIZES = (5_000, 10_000, 20_000, 40_000)
+
+
+def test_fig14_epoch_sensitivity(benchmark):
+    data = benchmark.pedantic(
+        lambda: experiments.fig14_epoch_sensitivity(
+            epoch_sizes=EPOCH_SIZES, workload="art", scale=SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cycle_rows = {
+        f"epoch={size}": {
+            scheme: row["normalized_cycles"] for scheme, row in data[size].items()
+        }
+        for size in EPOCH_SIZES
+    }
+    write_rows = {
+        f"epoch={size}": {
+            scheme: row["normalized_write_bytes"]
+            for scheme, row in data[size].items()
+        }
+        for size in EPOCH_SIZES
+    }
+    schemes = ["picl", "picl_l2", "nvoverlay"]
+    emit(
+        "fig14",
+        report.format_table("Fig. 14a: cycles vs epoch size (ART)", schemes, cycle_rows)
+        + "\n\n"
+        + report.format_table(
+            "Fig. 14b: write bytes vs epoch size (ART, normalized to NVOverlay)",
+            schemes,
+            write_rows,
+        ),
+    )
+
+    # NVOverlay: flat cycles across the sweep.
+    nvo_cycles = [data[size]["nvoverlay"]["normalized_cycles"] for size in EPOCH_SIZES]
+    assert max(nvo_cycles) - min(nvo_cycles) < 0.30
+
+    # PiCL's WA relative to NVOverlay drops as epochs grow (fewer walks
+    # and log entries per store).
+    first = data[EPOCH_SIZES[0]]["picl"]["normalized_write_bytes"]
+    last = data[EPOCH_SIZES[-1]]["picl"]["normalized_write_bytes"]
+    assert last < first, "picl: WA did not drop with larger epochs"
+    # Absolute NVM bytes drop with epoch size for every logging scheme
+    # (the paper's 11.0% / 15.9% reductions over its sweep).
+    for scheme in ("picl", "picl_l2"):
+        first_bytes = data[EPOCH_SIZES[0]][scheme]["nvm_bytes"]
+        last_bytes = data[EPOCH_SIZES[-1]][scheme]["nvm_bytes"]
+        assert last_bytes < first_bytes, f"{scheme}: bytes did not drop"

@@ -1,0 +1,39 @@
+"""Scalability: NVOverlay overhead as the machine grows (§II-D claim).
+
+Not a figure in the paper — its scalability argument is qualitative
+(distributed epochs, no centralized walker or mapping structure, writes
+amortized over execution).  This bench quantifies it on the simulator:
+per-core work held constant, machine size swept; NVOverlay's normalized
+overhead should stay flat.
+"""
+
+from repro.harness import report
+from repro.harness.sweep import scalability_sweep
+
+from _common import SCALE, emit
+
+CORE_COUNTS = (4, 8, 16)
+
+
+def test_scalability(benchmark):
+    data = benchmark.pedantic(
+        lambda: scalability_sweep(
+            core_counts=CORE_COUNTS, workload="uniform",
+            txns_per_core_scale=min(SCALE, 0.5),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {f"{cores} cores": metrics for cores, metrics in data.items()}
+    emit(
+        "scalability",
+        report.format_table(
+            "Scalability: NVOverlay vs machine size (uniform, fixed per-core work)",
+            ["normalized_cycles", "nvm_bytes_per_store", "rec_epoch"],
+            rows,
+        ),
+    )
+    overheads = [data[c]["normalized_cycles"] for c in CORE_COUNTS]
+    # Flat overhead: growing the machine does not grow the relative cost.
+    assert max(overheads) < min(overheads) * 1.5
+    assert all(o < 1.6 for o in overheads)

@@ -1,0 +1,44 @@
+"""Table I: qualitative comparison of NVOverlay with the other designs.
+
+Regenerates the feature matrix from the scheme implementations and
+checks the rows the paper prints.
+"""
+
+from repro.harness import experiments, report
+
+from _common import emit
+
+
+def test_table1_qualitative(benchmark):
+    rows = benchmark.pedantic(
+        experiments.table1_qualitative, rounds=1, iterations=1
+    )
+    columns = [
+        "min_write_amplification",
+        "no_commit_time",
+        "no_read_flush",
+        "software_redirection",
+        "persistence_barriers",
+        "unbounded_working_set",
+        "non_inclusive_llc",
+        "distributed_versioning",
+    ]
+    emit("table1", report.format_table("Table I: qualitative comparison", columns, rows))
+
+    # NVOverlay is the only row checking every column (Table I's point).
+    nvo = rows["nvoverlay"]
+    assert nvo["min_write_amplification"] and nvo["no_commit_time"]
+    assert nvo["no_read_flush"] and not nvo["persistence_barriers"]
+    assert nvo["unbounded_working_set"] and nvo["non_inclusive_llc"]
+    assert nvo["distributed_versioning"]
+    # PiCL: no commit time but needs an inclusive monolithic LLC.
+    assert rows["picl"]["no_commit_time"] and not rows["picl"]["non_inclusive_llc"]
+    # SW schemes rely on persistence barriers.
+    assert rows["sw_logging"]["persistence_barriers"]
+    assert rows["sw_shadow"]["persistence_barriers"]
+    # HW shadow paging bounds the working set.
+    assert not rows["hw_shadow"]["unbounded_working_set"]
+    # Nobody else versions distributedly.
+    assert not any(
+        rows[name]["distributed_versioning"] for name in rows if name != "nvoverlay"
+    )

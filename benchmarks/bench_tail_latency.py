@@ -1,0 +1,36 @@
+"""Extension study: per-operation latency tails across schemes.
+
+Quantifies §II-A's qualitative argument: persistence barriers don't just
+cost average throughput — the synchronous NVM flushes land on individual
+operations, stretching p99/p99.9 latency by orders of magnitude, while
+background-persistence schemes (PiCL, NVOverlay) keep the distribution
+near the ideal machine's.
+"""
+
+from repro.harness import experiments, report
+
+from _common import SCALE, emit
+
+
+def test_tail_latency(benchmark):
+    data = benchmark.pedantic(
+        lambda: experiments.tail_latency(workload="btree", scale=min(SCALE, 0.5)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "tail_latency",
+        report.format_table(
+            "Per-op latency percentiles (btree, cycles; log2-bucket bounds)",
+            ["p50", "p99", "p999", "max_bucket"],
+            data,
+            value_format="{:.0f}",
+        ),
+    )
+    # Barriers blow up the tail severalfold (an NVM barrier costs ~400+
+    # cycles against a ~250-cycle miss-path tail)...
+    assert data["sw_logging"]["p999"] > 4 * data["ideal"]["p999"]
+    # ...while NVOverlay's tail stays within ~2 buckets of ideal.
+    assert data["nvoverlay"]["p999"] <= 4 * data["ideal"]["p999"]
+    # Medians barely move for anyone (hits dominate).
+    assert data["nvoverlay"]["p50"] <= 2 * data["ideal"]["p50"]

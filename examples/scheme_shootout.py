@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare all six snapshotting designs on one workload.
+
+A miniature of the paper's Figs. 11 and 12: pick a workload, run every
+scheme (plus the ideal no-snapshot baseline), and print normalized
+cycles and NVM write bytes side by side.
+
+Run:  python examples/scheme_shootout.py [workload] [scale]
+      e.g. python examples/scheme_shootout.py kmeans 0.5
+"""
+
+import sys
+
+from repro import compare
+from repro.harness import report
+from repro.workloads import workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "btree"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if workload not in workload_names():
+        raise SystemExit(f"unknown workload {workload!r}; try: "
+                         + ", ".join(workload_names()))
+
+    print(f"comparing schemes on {workload!r} (scale {scale}) ...")
+    records = compare(workload, scale=scale)
+
+    rows = {}
+    for name, record in records.items():
+        if name == "ideal":
+            continue
+        rows[name] = {
+            "norm_cycles": record.extra["normalized_cycles"],
+            "norm_bytes": record.extra.get("normalized_write_bytes", 0.0),
+            "nvm_mb": record.total_nvm_bytes / 1e6,
+        }
+    print()
+    print(report.format_table(
+        f"{workload}: cycles vs ideal, bytes vs NVOverlay",
+        ["norm_cycles", "norm_bytes", "nvm_mb"],
+        rows,
+    ))
+    print()
+    nvo = records["nvoverlay"]
+    print(f"NVOverlay evict reasons: {nvo.evict_reasons}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so `python setup.py develop` works offline (no `wheel` package
+available for PEP 660 editable builds); configuration is in pyproject.toml."""
+from setuptools import setup
+
+setup()

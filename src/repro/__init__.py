@@ -1,0 +1,70 @@
+"""NVOverlay reproduction: high-frequency snapshotting to NVM (ISCA 2021).
+
+A pure-Python, trace-driven reproduction of Wang et al.'s NVOverlay on a
+deterministic multicore simulator.  The package layers as:
+
+* ``repro.sim`` — the substrate: caches, directory MESI, DRAM/NVM
+  timing, the machine runner;
+* ``repro.core`` — NVOverlay itself: Coherent Snapshot Tracking (epochs,
+  tag walkers) and Multi-snapshot NVM Mapping (OMC, mapping tables,
+  page pool, GC, snapshot retrieval);
+* ``repro.baselines`` — the five comparison schemes of the evaluation;
+* ``repro.workloads`` — real index structures over simulated memory and
+  STAMP-like generators;
+* ``repro.harness`` — one experiment per paper table/figure.
+
+Quickstart::
+
+    from repro import Machine, NVOverlay, SnapshotReader, make_workload
+
+    scheme = NVOverlay()
+    machine = Machine(scheme=scheme)
+    machine.run(make_workload("btree", num_threads=16, scale=0.2))
+    image = SnapshotReader(scheme.cluster).recover()
+"""
+
+from .baselines import (
+    HWShadowPaging,
+    NoSnapshot,
+    PiCL,
+    PiCLL2,
+    SWShadowPaging,
+    SWUndoLogging,
+)
+from .core import (
+    NVOverlay,
+    NVOverlayParams,
+    OMCCluster,
+    RecoveredImage,
+    SnapshotReader,
+    golden_image,
+)
+from .harness import compare, run_one
+from .sim import Machine, RunResult, SystemConfig
+from .workloads import PAPER_WORKLOADS, make_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HWShadowPaging",
+    "Machine",
+    "NVOverlay",
+    "NVOverlayParams",
+    "NoSnapshot",
+    "OMCCluster",
+    "PAPER_WORKLOADS",
+    "PiCL",
+    "PiCLL2",
+    "RecoveredImage",
+    "RunResult",
+    "SWShadowPaging",
+    "SWUndoLogging",
+    "SnapshotReader",
+    "SystemConfig",
+    "compare",
+    "golden_image",
+    "make_workload",
+    "run_one",
+    "workload_names",
+    "__version__",
+]

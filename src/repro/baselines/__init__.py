@@ -1,0 +1,18 @@
+"""The paper's comparison points (§VI-B), all as ``SnapshotScheme``s."""
+
+from ..sim.scheme import NoSnapshot
+from .base import GlobalEpochScheme
+from .hw_shadow import HWShadowPaging
+from .picl import PiCL, PiCLL2
+from .sw_shadow import SWShadowPaging
+from .sw_undo_log import SWUndoLogging
+
+__all__ = [
+    "GlobalEpochScheme",
+    "HWShadowPaging",
+    "NoSnapshot",
+    "PiCL",
+    "PiCLL2",
+    "SWShadowPaging",
+    "SWUndoLogging",
+]

@@ -1,0 +1,151 @@
+"""PiCL: software-transparent hardware undo logging (§VI-B, [59]).
+
+PiCL tags cache lines with the epoch of their last write, generates a
+72-byte undo-log entry in the background on the first write to a line in
+each epoch, and commits an epoch with an *asynchronous cache scan* (ACS):
+a tag walk that writes every finished epoch's dirty lines back to their
+NVM home.  Dirty lines that leave the tracked domain (the LLC, assumed
+inclusive and monolithic by the original design) are persisted at
+eviction time.
+
+Nothing stalls the cores directly, so PiCL matches NVOverlay's ≈1.0
+normalized cycles on most workloads (Fig. 11) — but it writes both log
+and data (1.4–1.9x NVOverlay's bytes, Fig. 12) and its ACS concentrates
+write-backs into bursts at epoch boundaries (Fig. 15/17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..sim.cache import CacheArray
+from ..sim.config import CACHE_LINE_SIZE
+from .base import GlobalEpochScheme
+
+UNDO_LOG_ENTRY_BYTES = CACHE_LINE_SIZE + 8
+
+
+class PiCL(GlobalEpochScheme):
+    """HW undo logging with epoch-tagged caches and ACS tag walks."""
+
+    name = "picl"
+    no_commit_time = True
+    no_read_flush = True
+    supports_non_inclusive_llc = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Epoch of each line's last write (the cache OID tags, held
+        #: scheme-side because the baseline hierarchy is unversioned).
+        self._line_tag: Dict[int, int] = {}
+        #: Epoch each line was last undo-logged in.
+        self._logged: Dict[int, int] = {}
+        #: Global store sequence, for dirtied-since-persisted tracking: a
+        #: line persisted once and then re-dirtied must be persisted
+        #: again on its next domain exit (undo logging makes in-place
+        #: home updates safe any number of times per epoch).
+        self._seq = 0
+        self._dirtied_at: Dict[int, int] = {}
+        self._persisted_at: Dict[int, int] = {}
+
+    # -- fast path -----------------------------------------------------------
+    def store_hook(self, core_id: int, line: int, now: int) -> int:
+        if self._logged.get(line) != self.epoch:
+            self._logged[line] = self.epoch
+            self.machine.nvm.write_background(
+                line, UNDO_LOG_ENTRY_BYTES, now, "log"
+            )
+            self.machine.stats.inc("evict_reason.coherence")
+        self._line_tag[line] = self.epoch
+        self._seq += 1
+        self._dirtied_at[line] = self._seq
+        return 0
+
+    def on_llc_dirty_eviction(self, line: int, oid: int, data: int, now: int) -> int:
+        """Dirty data leaves the tracked domain: persist it.
+
+        The epoch tag leaves with it, so a same-epoch rewrite after a
+        refetch cannot know it was already undo-logged and must log
+        again — the "smaller on-chip working set -> excessive ... log
+        writes" effect §VII-A attributes to PiCL-L2.
+        """
+        self._logged.pop(line, None)
+        return self._persist_line(line, now, "evict_reason.capacity")
+
+    def _persist_line(self, line: int, now: int, reason_counter: str) -> int:
+        dirtied = self._dirtied_at.get(line, 0)
+        if self._persisted_at.get(line, 0) >= dirtied:
+            return 0
+        self._persisted_at[line] = dirtied
+        self.machine.stats.inc(reason_counter)
+        return self.machine.nvm.write_background(
+            line, CACHE_LINE_SIZE, now, "data"
+        )
+
+    # -- epoch commit: the ACS tag walk ----------------------------------------
+    def _walk_arrays(self) -> List[CacheArray]:
+        hierarchy = self.machine.hierarchy
+        arrays: List[CacheArray] = list(hierarchy.llc)
+        arrays.extend(vd.l2 for vd in hierarchy.vds)
+        arrays.extend(hierarchy.l1s)
+        return arrays
+
+    def commit_epoch(self, now: int) -> int:
+        """ACS: write back all dirty lines of the finished epoch(s).
+
+        The scan's write-backs are all offered to the NVM around the
+        epoch boundary — the traffic burst Figs. 15/17 show.  (The bank
+        model is order-insensitive, so the writes are issued at commit
+        time rather than staggered into the future; staggering would make
+        *earlier* demand writes queue behind reservations that have not
+        happened yet.)
+        """
+        nvm = self.machine.nvm
+        seen = set()
+        for array in self._walk_arrays():
+            for entry in array.iter_lines():
+                if not entry.dirty or entry.line in seen:
+                    continue
+                seen.add(entry.line)
+                dirtied = self._dirtied_at.get(entry.line, 0)
+                if self._persisted_at.get(entry.line, 0) >= dirtied:
+                    continue
+                self._persisted_at[entry.line] = dirtied
+                nvm.write_background(entry.line, CACHE_LINE_SIZE, now, "data")
+                self.machine.stats.inc("evict_reason.tag_walk")
+        return 0
+
+
+class PiCLL2(PiCL):
+    """PiCL's mechanism applied at the L2 (§VI-B "PiCL-L2").
+
+    Models PiCL-style undo logging on a large multicore whose LLC is
+    non-inclusive and distributed: the tracked domain shrinks to the
+    (much smaller) L2s, so dirty lines leave the domain — and hit the
+    NVM — far more often (Fig. 12's 1.8–2.3x write amplification).
+    """
+
+    name = "picl_l2"
+    supports_non_inclusive_llc = True
+
+    def on_l2_dirty_eviction(
+        self, vd_id: int, line: int, oid: int, data: int, reason: str, now: int
+    ) -> int:
+        """Dirty data leaves an L2: that's the domain boundary here."""
+        counter = (
+            "evict_reason.capacity"
+            if reason == "capacity"
+            else "evict_reason.coherence"
+        )
+        self._logged.pop(line, None)  # tag lost on domain exit (see PiCL)
+        return self._persist_line(line, now, counter)
+
+    def on_llc_dirty_eviction(self, line: int, oid: int, data: int, now: int) -> int:
+        """Already persisted when it left the L2 domain."""
+        return 0
+
+    def _walk_arrays(self) -> List[CacheArray]:
+        hierarchy = self.machine.hierarchy
+        arrays: List[CacheArray] = [vd.l2 for vd in hierarchy.vds]
+        arrays.extend(hierarchy.l1s)
+        return arrays

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``        — one (workload, scheme) simulation, print statistics
+* ``compare``    — all schemes on one workload (a Figs. 11/12 slice)
+* ``experiment`` — regenerate one paper artifact (table1, fig11..fig17)
+* ``workloads``  — list registered workload names
+* ``trace``      — capture a workload's op stream to a trace file
+
+Examples::
+
+    python -m repro run --workload btree --scheme nvoverlay --scale 0.3
+    python -m repro compare --workload kmeans
+    python -m repro experiment fig13
+    python -m repro trace --workload art --scale 0.1 --out art.trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness import experiments, report
+from .harness.runner import SCHEMES, compare, run_one
+from .workloads import capture_trace, make_workload, save_trace, workload_names
+
+EXPERIMENTS = {
+    "table1": lambda args: _render_table1(),
+    "fig11": lambda args: _render_fig(
+        experiments.fig11_normalized_cycles(scale=args.scale),
+        "Fig. 11: normalized cycles",
+    ),
+    "fig12": lambda args: _render_fig(
+        experiments.fig12_write_amplification(scale=args.scale),
+        "Fig. 12: write bytes normalized to NVOverlay",
+    ),
+    "fig13": lambda args: _render_fig13(args),
+    "fig14": lambda args: _render_fig14(args),
+    "fig15": lambda args: _render_fig15(args),
+    "fig16": lambda args: _render_fig16(args),
+    "fig17": lambda args: _render_fig17(args),
+}
+
+
+def _render_table1() -> str:
+    rows = experiments.table1_qualitative()
+    columns = sorted(next(iter(rows.values())))
+    return report.format_table("Table I", columns, rows)
+
+
+def _render_fig(data, title: str) -> str:
+    schemes = sorted(next(iter(data.values())))
+    return report.format_table(title, schemes, data)
+
+
+def _render_fig13(args) -> str:
+    data = experiments.fig13_metadata_cost(scale=args.scale)
+    rows = {w: {"pct_of_ws": pct} for w, pct in data.items()}
+    return report.format_table("Fig. 13: Mmaster size", ["pct_of_ws"], rows)
+
+
+def _render_fig14(args) -> str:
+    data = experiments.fig14_epoch_sensitivity(scale=args.scale)
+    rows = {
+        f"epoch={size}": {
+            f"{scheme}.{metric.split('_')[-1]}": value
+            for scheme, metrics in row.items()
+            for metric, value in metrics.items()
+        }
+        for size, row in data.items()
+    }
+    columns = sorted(next(iter(rows.values())))
+    return report.format_table("Fig. 14: epoch-size sensitivity (ART)", columns, rows)
+
+
+def _render_fig15(args) -> str:
+    data = experiments.fig15_evict_reasons(scale=args.scale)
+    parts = []
+    for variant, rows in data.items():
+        parts.append(
+            report.format_table(
+                f"Fig. 15 ({variant})",
+                ["capacity", "coherence_log", "tag_walk"],
+                rows,
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _render_fig16(args) -> str:
+    data = experiments.fig16_omc_buffer(scale=args.scale)
+    columns = sorted({key for row in data.values() for key in row})
+    return report.format_table("Fig. 16: OMC buffer", columns, data)
+
+
+def _render_fig17(args) -> str:
+    series = experiments.fig17_bandwidth(scale=args.scale, bursty=args.bursty)
+    title = "Fig. 17{}: NVM write bandwidth".format("b" if args.bursty else "a")
+    return report.format_series(title, series)
+
+
+def _cmd_run(args) -> int:
+    record = run_one(args.workload, args.scheme, scale=args.scale, seed=args.seed)
+    print(f"workload:      {record.workload}")
+    print(f"scheme:        {record.scheme}")
+    print(f"cycles:        {record.cycles:,}")
+    print(f"transactions:  {record.transactions:,}")
+    print(f"stores:        {record.stores:,}")
+    for category, value in sorted(record.nvm_bytes.items()):
+        print(f"nvm bytes [{category}]: {value:,}")
+    if record.evict_reasons:
+        print(f"evict reasons: {record.evict_reasons}")
+    for key, value in sorted(record.extra.items()):
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    records = compare(args.workload, scale=args.scale, seed=args.seed)
+    rows = {
+        name: {
+            "norm_cycles": rec.extra["normalized_cycles"],
+            "norm_bytes": rec.extra.get("normalized_write_bytes", 0.0),
+            "nvm_mb": rec.total_nvm_bytes / 1e6,
+        }
+        for name, rec in records.items()
+        if name != "ideal"
+    }
+    print(report.format_table(
+        f"{args.workload} (scale {args.scale})",
+        ["norm_cycles", "norm_bytes", "nvm_mb"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    print(EXPERIMENTS[args.name](args))
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    for name in workload_names():
+        print(name)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    workload = make_workload(args.workload, num_threads=args.threads,
+                             scale=args.scale, seed=args.seed)
+    count = save_trace(args.out, capture_trace(workload))
+    print(f"wrote {count} ops to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NVOverlay reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_scheme=False):
+        p.add_argument("--workload", default="btree",
+                       help="workload name (see `workloads`)")
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="operation-count multiplier")
+        p.add_argument("--seed", type=int, default=1)
+        if with_scheme:
+            p.add_argument("--scheme", default="nvoverlay",
+                           choices=sorted(SCHEMES))
+
+    p_run = sub.add_parser("run", help="run one workload under one scheme")
+    common(p_run, with_scheme=True)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_compare = sub.add_parser("compare", help="run every scheme on a workload")
+    common(p_compare)
+    p_compare.set_defaults(func=_cmd_compare)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--scale", type=float, default=0.5)
+    p_exp.add_argument("--bursty", action="store_true",
+                       help="fig17: bursty debugging epochs")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_list = sub.add_parser("workloads", help="list workload names")
+    p_list.set_defaults(func=_cmd_workloads)
+
+    p_trace = sub.add_parser("trace", help="capture a workload to a trace file")
+    common(p_trace)
+    p_trace.add_argument("--threads", type=int, default=16)
+    p_trace.add_argument("--out", required=True)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

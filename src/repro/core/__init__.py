@@ -1,0 +1,57 @@
+"""NVOverlay's core mechanisms: CST epochs/walkers + the MNM backend.
+
+The version access protocol itself runs inside ``repro.sim.hierarchy``
+(enabled by ``NVOverlay.uses_version_protocol``); this package holds
+everything that is NVOverlay-specific: epoch arithmetic and wrap-around,
+tag walkers, the OMC cluster with its mapping tables, page pool, buffer,
+garbage collection, and the snapshot retrieval API.
+"""
+
+from .epoch import EpochSkewError, EpochSpace, SenseController, merge
+from .gc import compact, compact_if_needed
+from .mapping import (
+    ENTRY_BYTES,
+    EpochTable,
+    MasterTable,
+    RadixTree,
+    VersionLocation,
+)
+from .nvoverlay import NVOverlay, NVOverlayParams
+from .omc import OMC, OMCCluster
+from .omc_buffer import OMCBuffer
+from .page_pool import SIZE_CLASSES, PagePool, PoolExhaustedError, SubPage
+from .snapshot import (
+    RecoveredImage,
+    SnapshotReader,
+    golden_image,
+    replay_delta,
+)
+from .tag_walker import TagWalker
+
+__all__ = [
+    "ENTRY_BYTES",
+    "EpochSkewError",
+    "EpochSpace",
+    "EpochTable",
+    "MasterTable",
+    "NVOverlay",
+    "NVOverlayParams",
+    "OMC",
+    "OMCBuffer",
+    "OMCCluster",
+    "PagePool",
+    "PoolExhaustedError",
+    "RadixTree",
+    "RecoveredImage",
+    "SIZE_CLASSES",
+    "SenseController",
+    "SnapshotReader",
+    "SubPage",
+    "TagWalker",
+    "VersionLocation",
+    "compact",
+    "compact_if_needed",
+    "golden_image",
+    "merge",
+    "replay_delta",
+]

@@ -1,0 +1,124 @@
+"""Epoch arithmetic: Lamport clocks and fixed-width wrap-around (§IV-D).
+
+NVOverlay identifies epochs with 16-bit integers carried in cache tags and
+coherence messages.  Internally this reproduction keeps *logical* epochs as
+unbounded Python ints (simulation bookkeeping must never wrap), and this
+module provides the wire view:
+
+* ``EpochSpace`` — encode/decode between logical epochs and fixed-width
+  wire epochs using half-space (serial-number) comparison, which is only
+  sound while inter-VD skew stays below half the space;
+* ``SenseController`` — the paper's second wrap-around solution: the epoch
+  space is split into two groups L and U, a persistent *epoch-sense* bit
+  says which group is currently "ahead", and the bit flips whenever the
+  first VD crosses from one group into the other.  The controller enforces
+  the invariant that all VDs run epochs in the same group or the two
+  adjacent groups with skew below half the space.
+
+The Lamport merge rule itself (§III-C) is one line — a local epoch jumps
+to a remote epoch that is strictly newer — and lives in ``merge``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def merge(local: int, observed: int) -> int:
+    """Lamport-clock update: adopt ``observed`` if it is newer."""
+    return observed if observed > local else local
+
+
+class EpochSpace:
+    """Fixed-width wire representation of logical epochs."""
+
+    def __init__(self, bits: int = 16) -> None:
+        if not 2 <= bits <= 32:
+            raise ValueError("epoch width must be between 2 and 32 bits")
+        self.bits = bits
+        self.size = 1 << bits
+        self.half = self.size >> 1
+
+    def encode(self, logical: int) -> int:
+        """Wire (truncated) form of a logical epoch."""
+        if logical < 0:
+            raise ValueError("logical epochs are non-negative")
+        return logical & (self.size - 1)
+
+    def decode(self, wire: int, reference: int) -> int:
+        """Logical epoch nearest to ``reference`` that encodes to ``wire``.
+
+        Sound only while the true distance from ``reference`` is below
+        half the space, exactly the guarantee §IV-D establishes.
+        """
+        if not 0 <= wire < self.size:
+            raise ValueError(f"wire epoch {wire} out of range")
+        base = reference - (reference & (self.size - 1)) + wire
+        # Candidates one wrap below/above; pick the one closest to the
+        # reference (ties break toward the future, matching serial-number
+        # arithmetic where equal distance is ambiguous anyway).
+        best = base
+        for candidate in (base - self.size, base + self.size):
+            if candidate >= 0 and abs(candidate - reference) < abs(best - reference):
+                best = candidate
+        return max(best, 0)
+
+    def wire_newer(self, a: int, b: int) -> bool:
+        """Half-space comparison: is wire epoch ``a`` newer than ``b``?"""
+        return 0 < ((a - b) & (self.size - 1)) < self.half
+
+    def group(self, wire: int) -> int:
+        """0 for the lower group L, 1 for the upper group U."""
+        return 1 if wire >= self.half else 0
+
+
+class SenseController:
+    """Tracks the persistent epoch-sense bit across group transitions.
+
+    ``on_vd_advance`` must be called whenever a VD moves its local epoch.
+    When the first VD crosses into the other group the sense bit flips,
+    which conceptually "moves" the vacated group ahead for reuse.  The
+    controller raises if VD skew ever reaches half the epoch space, since
+    past that point wire comparisons would silently corrupt ordering.
+    """
+
+    def __init__(self, space: EpochSpace, num_vds: int) -> None:
+        self.space = space
+        self.sense = 0
+        self._logical: Dict[int, int] = {vd: 0 for vd in range(num_vds)}
+        self.flips = 0
+
+    def on_vd_advance(self, vd: int, new_logical: int) -> None:
+        old_logical = self._logical.get(vd, 0)
+        if new_logical < old_logical:
+            raise ValueError("logical epochs must be monotonic per VD")
+        old_max = max(self._logical.values())
+        self._logical[vd] = new_logical
+        self._check_skew()
+        # The sense bit flips each time the system frontier (the maximum
+        # epoch across VDs) first enters the other group, i.e. crosses a
+        # multiple of half the epoch space.
+        new_max = max(self._logical.values())
+        crossings = new_max // self.space.half - old_max // self.space.half
+        if crossings:
+            self.flips += crossings
+            self.sense ^= crossings & 1
+
+    def max_skew(self) -> int:
+        values = self._logical.values()
+        return max(values) - min(values)
+
+    def logical_epoch(self, vd: int) -> Optional[int]:
+        return self._logical.get(vd)
+
+    def _check_skew(self) -> None:
+        if self.max_skew() >= self.space.half:
+            raise EpochSkewError(
+                f"inter-VD epoch skew {self.max_skew()} reached half the "
+                f"{self.space.bits}-bit epoch space; wire ordering would "
+                "be ambiguous (see paper §IV-D)"
+            )
+
+
+class EpochSkewError(RuntimeError):
+    """Raised when VD epoch skew exceeds what the wire encoding can order."""

@@ -1,0 +1,111 @@
+"""Garbage collection and version compaction (§V-D).
+
+Merged versions that the Master Table no longer references are reclaimed
+automatically through sub-page reference counts (see ``repro.core.omc``).
+What remains is the storage-explosion problem the paper calls out:
+rarely-updated lines pin their whole overlay (sub-)page alive.  When the
+pool exceeds its quota, *version compaction* copies the still-live
+versions of the oldest epochs into the most recent epoch — as if those
+addresses had just been written — after which the source sub-pages drop
+to zero references and their pages return to the pool.
+
+Compaction costs NVM data writes (one line per surviving version), which
+is the write-amplification/storage trade-off §V-F lets users make.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from ..sim.config import CACHE_LINE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .omc import OMC, OMCCluster
+
+
+def compact_if_needed(cluster: "OMCCluster", now: int) -> int:
+    """Compact any OMC whose pool exceeds its share of the quota."""
+    if cluster.quota_pages is None:
+        return 0
+    per_omc_quota = max(1, cluster.quota_pages // len(cluster.omcs))
+    moved = 0
+    for omc in cluster.omcs:
+        if omc.pool.pages_in_use() > per_omc_quota:
+            moved += compact(omc, now, target_pages=per_omc_quota)
+    return moved
+
+
+def compact(omc: "OMC", now: int, target_pages: int = 0) -> int:
+    """Copy live versions out of the oldest epochs (§V-D).
+
+    Walks master-referenced versions grouped by the epoch that produced
+    them, oldest first, relocating them into the current epoch until the
+    pool fits within ``target_pages`` (or everything old moved).  Returns
+    the number of versions relocated.
+    """
+    by_epoch = _live_versions_by_epoch(omc)
+    if not by_epoch:
+        return 0
+    target_epoch = max(
+        max(omc.tables, default=0), omc.merged_through + 1, max(by_epoch) + 1
+    )
+    # The newest epoch's sub-pages are the densest with live versions;
+    # relocating them frees nothing, so they stay put unless they are
+    # all there is.
+    candidates = sorted(by_epoch)
+    if len(candidates) > 1:
+        candidates = candidates[:-1]
+    moved = 0
+    for epoch in candidates:
+        if epoch >= target_epoch:
+            break
+        for line in by_epoch[epoch]:
+            location = omc.master.lookup(line)
+            if location is None:
+                continue
+            subpage = omc.pool.subpage(location.subpage_id)
+            if subpage.retained:
+                # A retained (time-travel) epoch still needs this slot in
+                # place; the caller must drop old epochs before compacting.
+                continue
+            _line, oid, data = omc.pool.read_version(
+                location.subpage_id, location.slot
+            )
+            _relocate(omc, line, oid, data, target_epoch, now)
+            moved += 1
+        if target_pages and omc.pool.pages_in_use() <= target_pages:
+            break
+    if moved:
+        omc.stats.inc(f"omc{omc.id}.compacted_versions", moved)
+    return moved
+
+
+def _live_versions_by_epoch(omc: "OMC") -> Dict[int, List[int]]:
+    """Master-referenced lines grouped by the epoch of their sub-page."""
+    by_epoch: Dict[int, List[int]] = {}
+    for line, location in omc.master.entries():
+        epoch = omc._subpage_epoch.get(location.subpage_id)
+        if epoch is None:
+            continue
+        by_epoch.setdefault(epoch, []).append(line)
+    return by_epoch
+
+
+def _relocate(omc: "OMC", line: int, oid: int, data: int, target_epoch: int, now: int) -> None:
+    """Re-home one live version into ``target_epoch``'s overlay pages.
+
+    The version keeps its *original* OID in the content store so
+    time-travel reads still see the correct version epoch; only its
+    physical placement (and hence reclamation group) changes.
+    """
+    page = line >> 6
+    subpage = omc._subpage_with_room(target_epoch, page)
+    slot = omc.pool.write_version(subpage, line, oid, data)
+    from .mapping import VersionLocation
+
+    new_location = VersionLocation(subpage.id, slot)
+    subpage.master_refs += 1
+    _new_nodes, previous = omc.master.insert(line, new_location)
+    omc.nvm.write_background(line, CACHE_LINE_SIZE, now, "data")
+    if previous is not None:
+        omc._drop_master_ref(previous)

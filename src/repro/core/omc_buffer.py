@@ -1,0 +1,84 @@
+"""Battery-backed OMC write-back buffer (§IV-E "Reducing NVM Writes").
+
+A persistent (battery-backed) cache in front of the OMC that absorbs
+redundant version write-backs: if the same address is evicted repeatedly
+within one epoch, only the final version needs to reach the NVM.  Because
+the buffer is battery-backed its contents count as durable, so it does
+not delay recoverable-epoch advancement — the OMC only has to flush
+entries of epoch ≤ E before *merging* epoch E (see ``OMC.merge_through``).
+
+Fig. 16 evaluates this buffer sized like the LLC on a single-epoch run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..sim.cache import MESI, CacheArray
+from ..sim.config import CacheGeometry
+from ..sim.stats import Stats
+
+#: Callback invoked when a version leaves the buffer toward the NVM:
+#: (line, oid, data, now) -> None
+FlushFn = Callable[[int, int, int, int], None]
+
+
+class OMCBuffer:
+    """Write-back version cache between the CST frontend and the NVM."""
+
+    def __init__(self, geometry: CacheGeometry, stats: Stats, flush_fn: FlushFn) -> None:
+        self.array = CacheArray(geometry, "omc_buffer", stats)
+        self.stats = stats
+        self._flush = flush_fn
+
+    def insert(self, line: int, oid: int, data: int, now: int) -> None:
+        """Absorb one version write-back."""
+        self.stats.inc("omc_buffer.writes")
+        entry = self.array.lookup(line)
+        if entry is not None:
+            if entry.oid == oid:
+                # Redundant write-back within the same epoch: coalesce.
+                self.stats.inc("omc_buffer.hits")
+                entry.data = data
+                return
+            # A different epoch's version: the buffered one is part of an
+            # older snapshot and must reach the NVM before being replaced.
+            self.stats.inc("omc_buffer.version_replacements")
+            self._flush(line, entry.oid, entry.data, now)
+            entry.oid = oid
+            entry.data = data
+            return
+        if self.array.needs_victim(line):
+            victim = self.array.choose_victim(line)
+            self.stats.inc("omc_buffer.capacity_flushes")
+            self._flush(victim.line, victim.oid, victim.data, now)
+            self.array.remove(victim.line)
+        self.array.insert(line, MESI.M, oid, data)
+
+    def flush_epochs_through(self, epoch: int, now: int) -> int:
+        """Flush buffered versions with oid <= epoch; returns the count."""
+        flushed = 0
+        for entry in list(self.array.iter_lines()):
+            if entry.oid <= epoch:
+                self._flush(entry.line, entry.oid, entry.data, now)
+                self.array.remove(entry.line)
+                flushed += 1
+        return flushed
+
+    def flush_all(self, now: int) -> int:
+        entries: List[Tuple[int, int, int]] = [
+            (e.line, e.oid, e.data) for e in self.array.iter_lines()
+        ]
+        for line, oid, data in entries:
+            self._flush(line, oid, data, now)
+        self.array.clear()
+        return len(entries)
+
+    def occupancy(self) -> int:
+        return len(self.array)
+
+    def hit_rate(self) -> float:
+        writes = self.stats.get("omc_buffer.writes")
+        if writes == 0:
+            return 0.0
+        return self.stats.get("omc_buffer.hits") / writes

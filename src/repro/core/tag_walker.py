@@ -1,0 +1,90 @@
+"""Per-VD opportunistic L2 tag walker (§IV-C) and min-ver reporting.
+
+Each Versioned Domain has a tag walker built into its L2 controller.  It
+scans cache tags opportunistically (modelled as a scan budget that
+accrues with simulated time) and writes dirty versions of previous
+epochs back to the OMC, downgrading them M -> E.  When a full pass over
+the L2 completes, the walker computes the VD's ``min-ver`` — the
+smallest OID among dirty versions still cached — and reports it to the
+master OMC, which drives the recoverable epoch (§V-B).
+
+NVOverlay's correctness does not depend on the walker making progress
+(§IV-C): snapshots only become *recoverable* more slowly if it lags,
+which the Fig. 15 experiment demonstrates by disabling it outright.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.hierarchy import Hierarchy, VDState
+from ..sim.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .omc import OMCCluster
+
+
+class TagWalker:
+    """Background scanner over one VD's L2 tags."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        vd: VDState,
+        cluster: "OMCCluster",
+        stats: Stats,
+        tags_per_kilocycle: int,
+        enabled: bool = True,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.vd = vd
+        self.cluster = cluster
+        self.stats = stats
+        self.rate = tags_per_kilocycle
+        self.enabled = enabled
+        self._cursor = 0  # next L2 set to scan
+        self._budget = 0.0  # fractional tags of accrued scan budget
+        self._last_poll = 0
+        self.passes_completed = 0
+
+    def poll(self, now: int) -> None:
+        """Give the walker the time that elapsed since the last poll."""
+        if not self.enabled:
+            return
+        elapsed = now - self._last_poll
+        if elapsed <= 0:
+            return
+        self._last_poll = now
+        self._budget += elapsed * self.rate / 1000.0
+        ways = self.vd.l2.geometry.ways
+        num_sets = self.vd.l2.geometry.num_sets
+        # Cap one poll's work at a single full pass; budget beyond that
+        # buys nothing (the walker would just re-observe the same tags).
+        max_sets = min(int(self._budget // ways), num_sets)
+        for _ in range(max_sets):
+            self._budget -= ways
+            self._scan_set(self._cursor, now)
+            self._cursor += 1
+            if self._cursor >= num_sets:
+                self._cursor = 0
+                self._complete_pass(now)
+        self._budget = min(self._budget, float(num_sets * ways))
+
+    def _scan_set(self, set_index: int, now: int) -> None:
+        self.stats.inc("walker.sets_scanned")
+        for entry in self.vd.l2.iter_set(set_index):
+            self.stats.inc("walker.tags_scanned")
+            self.hierarchy.walker_persist(self.vd, entry.line, now)
+
+    def _complete_pass(self, now: int) -> None:
+        """End of a full scan: compute and report min-ver (§V-B)."""
+        self.passes_completed += 1
+        min_ver = self.hierarchy.min_dirty_oid(self.vd)
+        self.cluster.update_min_ver(self.vd.id, min_ver, now)
+        self.stats.inc("walker.passes")
+
+    def force_pass(self, now: int) -> None:
+        """Synchronously walk everything (used at finalize)."""
+        for set_index in range(self.vd.l2.geometry.num_sets):
+            self._scan_set(set_index, now)
+        self._complete_pass(now)

@@ -1,0 +1,23 @@
+"""Experiment harness: runner, per-figure experiments, sweeps, reports."""
+
+from . import experiments, report, sweep
+from .runner import (
+    COMPARED_SCHEMES,
+    SCHEMES,
+    RunRecord,
+    compare,
+    make_scheme,
+    run_one,
+)
+
+__all__ = [
+    "COMPARED_SCHEMES",
+    "RunRecord",
+    "SCHEMES",
+    "compare",
+    "experiments",
+    "make_scheme",
+    "report",
+    "run_one",
+    "sweep",
+]

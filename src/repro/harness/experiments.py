@@ -1,0 +1,271 @@
+"""One experiment definition per paper table/figure (§VII).
+
+Each function regenerates the data behind one artifact of the paper's
+evaluation and returns it as plain dicts/lists the report module can
+render.  The benchmarks under ``benchmarks/`` are thin wrappers around
+these, so users can also call them directly:
+
+    from repro.harness import experiments
+    data = experiments.fig11_normalized_cycles(scale=0.5)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import NVOverlayParams
+from ..sim import SystemConfig
+from ..sim.config import BurstyEpochPolicy
+from ..workloads import PAPER_WORKLOADS
+from .runner import COMPARED_SCHEMES, SCHEMES, RunRecord, compare, run_one
+
+DEFAULT_SCALE = 1.0
+
+
+def table1_qualitative() -> Dict[str, Dict[str, object]]:
+    """Table I: qualitative feature comparison, derived from the scheme
+    classes themselves so it cannot drift from the implementation."""
+    rows: Dict[str, Dict[str, object]] = {}
+    for name in COMPARED_SCHEMES:
+        scheme = SCHEMES[name]()
+        rows[name] = {
+            "min_write_amplification": scheme.minimum_write_amplification,
+            "no_commit_time": scheme.no_commit_time,
+            "no_read_flush": scheme.no_read_flush,
+            "software_redirection": scheme.software_redirection,
+            "persistence_barriers": scheme.persistence_barriers,
+            "unbounded_working_set": scheme.unbounded_working_set,
+            "non_inclusive_llc": scheme.supports_non_inclusive_llc,
+            "distributed_versioning": scheme.distributed_versioning,
+        }
+    return rows
+
+
+def fig11_normalized_cycles(
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    schemes: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 11: wall-clock cycles normalized to no-snapshot execution."""
+    result: Dict[str, Dict[str, float]] = {}
+    for workload in workloads or PAPER_WORKLOADS:
+        records = compare(workload, list(schemes) if schemes else None,
+                          config=config, scale=scale)
+        result[workload] = {
+            name: rec.extra["normalized_cycles"]
+            for name, rec in records.items()
+            if name != "ideal"
+        }
+    return result
+
+
+def fig12_write_amplification(
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    schemes: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 12: NVM bytes written, normalized to NVOverlay."""
+    result: Dict[str, Dict[str, float]] = {}
+    for workload in workloads or PAPER_WORKLOADS:
+        records = compare(workload, list(schemes) if schemes else None,
+                          config=config, scale=scale)
+        result[workload] = {
+            name: rec.extra.get("normalized_write_bytes", 0.0)
+            for name, rec in records.items()
+            if name != "ideal"
+        }
+    return result
+
+
+def fig13_metadata_cost(
+    workloads: Optional[Sequence[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+) -> Dict[str, float]:
+    """Fig. 13: Master Table size as a percentage of the write working set.
+
+    The theoretical lower bound is 12.5% (an 8-byte leaf entry per 64-byte
+    line); low page occupancy (yada) pushes the ratio up.
+    """
+    result: Dict[str, float] = {}
+    for workload in workloads or PAPER_WORKLOADS:
+        record = run_one(workload, "nvoverlay", config=config, scale=scale)
+        metadata = record.extra["master_metadata_bytes"]
+        working_set = max(record.extra["mapped_working_set_bytes"], 1)
+        result[workload] = 100.0 * metadata / working_set
+    return result
+
+
+def fig14_epoch_sensitivity(
+    epoch_sizes: Sequence[int] = (5_000, 10_000, 20_000, 40_000),
+    workload: str = "art",
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Fig. 14: cycles and writes vs epoch size (PiCL/PiCL-L2/NVOverlay).
+
+    The paper sweeps 500K..4M store-uop epochs; these defaults are the
+    same 8x sweep around our scaled default epoch.
+    """
+    base_config = config or SystemConfig()
+    result: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for epoch_size in epoch_sizes:
+        cfg = base_config.with_changes(epoch_size_stores=epoch_size)
+        records = compare(
+            workload, ["picl", "picl_l2", "nvoverlay"], config=cfg, scale=scale
+        )
+        result[epoch_size] = {
+            name: {
+                "normalized_cycles": rec.extra["normalized_cycles"],
+                "normalized_write_bytes": rec.extra.get("normalized_write_bytes", 0.0),
+                "nvm_bytes": float(rec.total_nvm_bytes),
+            }
+            for name, rec in records.items()
+            if name != "ideal"
+        }
+    return result
+
+
+def fig15_evict_reasons(
+    workload: str = "art",
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 15: evict-reason decomposition, with and without tag walker.
+
+    Reasons are grouped the way the paper's legend does: capacity miss,
+    coherence/log, tag walk.
+    """
+    result: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for variant, walker in (("with_walker", True), ("without_walker", False)):
+        rows: Dict[str, Dict[str, float]] = {}
+        for scheme in ("picl", "picl_l2", "nvoverlay"):
+            params = NVOverlayParams(enable_tag_walker=walker)
+            record = run_one(
+                workload, scheme, config=config, scale=scale,
+                nvo_params=params if scheme == "nvoverlay" else None,
+            )
+            if not walker and scheme in ("picl", "picl_l2"):
+                # PiCL without its ACS cannot commit epochs at all; the
+                # paper's Fig. 15b keeps the bars for comparison by
+                # running the same configuration (the walk IS the commit
+                # path), so we keep its numbers unchanged here.
+                record = run_one(workload, scheme, config=config, scale=scale)
+            reasons = record.evict_reasons
+            capacity = reasons.get("capacity", 0)
+            coherence = (
+                reasons.get("coherence", 0)
+                + reasons.get("store_evict", 0)
+                + reasons.get("log", 0)
+                + reasons.get("other", 0)
+            )
+            walk = reasons.get("tag_walk", 0)
+            total = max(capacity + coherence + walk, 1)
+            rows[scheme] = {
+                "capacity": 100.0 * capacity / total,
+                "coherence_log": 100.0 * coherence / total,
+                "tag_walk": 100.0 * walk / total,
+            }
+        result[variant] = rows
+    return result
+
+
+def fig16_omc_buffer(
+    workload: str = "art",
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 16: the battery-backed OMC buffer's effect on an all-one-epoch
+    stress run (cycles and NVM data writes, plus buffer hit rate)."""
+    base_config = config or SystemConfig()
+    # One epoch for the entire run stresses redundant write-back absorption.
+    cfg = base_config.with_changes(epoch_size_stores=1 << 60)
+    ideal = run_one(workload, "ideal", config=cfg, scale=scale)
+    result: Dict[str, Dict[str, float]] = {}
+    for label, use_buffer in (("no_buffer", False), ("with_buffer", True)):
+        params = NVOverlayParams(use_omc_buffer=use_buffer)
+        record = run_one(workload, "nvoverlay", config=cfg, scale=scale,
+                         nvo_params=params)
+        row = {
+            "normalized_cycles": record.cycles / max(ideal.cycles, 1),
+            "nvm_data_writes": record.extra["nvm_data_writes"],
+        }
+        if use_buffer:
+            writes = max(record.extra.get("omc_buffer_writes", 0), 1)
+            row["buffer_hit_rate"] = record.extra.get("omc_buffer_hits", 0) / writes
+        result[label] = row
+    return result
+
+
+def tail_latency(
+    workload: str = "btree",
+    schemes: Sequence[str] = ("ideal", "sw_logging", "hw_shadow", "picl", "nvoverlay"),
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1,
+) -> Dict[str, Dict[str, int]]:
+    """Per-operation latency percentiles per scheme (extension study).
+
+    Not a paper figure, but the paper's §II-A argument made measurable:
+    persistence barriers do not just slow execution on average — they
+    stretch the operation latency *tail*, while background schemes keep
+    the distribution close to the ideal machine's.
+    """
+    from ..sim import Machine
+    from ..workloads import make_workload
+    from .runner import make_scheme
+
+    result: Dict[str, Dict[str, int]] = {}
+    for name in schemes:
+        machine = Machine(
+            config or SystemConfig(), scheme=make_scheme(name),
+            capture_latency=True,
+        )
+        machine.run(make_workload(
+            workload, num_threads=machine.config.num_cores, scale=scale, seed=seed
+        ))
+        result[name] = {
+            "p50": machine.stats.percentile("op_latency", 0.50),
+            "p99": machine.stats.percentile("op_latency", 0.99),
+            "p999": machine.stats.percentile("op_latency", 0.999),
+            "max_bucket": machine.stats.histogram("op_latency")[-1][0],
+        }
+    return result
+
+
+def fig17_bandwidth(
+    workload: str = "btree",
+    config: Optional[SystemConfig] = None,
+    scale: float = DEFAULT_SCALE,
+    bursty: bool = False,
+) -> Dict[str, List[Tuple[int, int]]]:
+    """Fig. 17: NVM write bandwidth over time, PiCL vs NVOverlay.
+
+    With ``bursty``, three windows of very short epochs (1%, 10%, 100% of
+    the default, echoing the paper's 1K/10K/100K) model time-travel
+    debugging's localized snapshot bursts.
+    """
+    base_config = config or SystemConfig()
+    cfg = base_config
+    if bursty:
+        total_stores_estimate = int(110_000 * scale)
+        default = base_config.epoch_size_stores
+        third = total_stores_estimate // 3
+        # The paper's bursts are 1K/10K/100K-store epochs against a 1M
+        # default (0.1%, 1%, 10%); scaled to our default epoch.
+        policy = BurstyEpochPolicy(
+            base_size=default,
+            bursts=(
+                (int(third * 0.4), int(third * 0.6), max(default // 1000, 5)),
+                (int(third * 1.4), int(third * 1.6), max(default // 100, 25)),
+                (int(third * 2.4), int(third * 2.6), max(default // 10, 100)),
+            ),
+        )
+        cfg = base_config.with_changes(epoch_policy=policy)
+    series: Dict[str, List[Tuple[int, int]]] = {}
+    for scheme in ("picl", "nvoverlay"):
+        record = run_one(workload, scheme, config=cfg, scale=scale)
+        series[scheme] = record.bandwidth_series
+    return series

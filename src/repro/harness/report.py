@@ -1,0 +1,92 @@
+"""ASCII rendering of experiment results, row-for-row with the paper.
+
+Everything returns a string so benches can ``print`` it and tests can
+assert on structure without touching a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Dict[str, Dict[str, object]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render {row -> {column -> value}} as a fixed-width table."""
+    header_cells = ["workload".ljust(14)] + [str(c).rjust(12) for c in columns]
+    lines = [title, "-" * len(title), "  ".join(header_cells)]
+    for row_name, cells in rows.items():
+        rendered = [row_name.ljust(14)]
+        for column in columns:
+            value = cells.get(column, "")
+            if isinstance(value, bool):
+                text = "yes" if value else "no"
+            elif isinstance(value, (int, float)):
+                text = value_format.format(value)
+            else:
+                text = str(value)
+            rendered.append(text.rjust(12))
+        lines.append("  ".join(rendered))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Dict[str, List[Tuple[int, int]]],
+    width: int = 60,
+) -> str:
+    """Render bandwidth time series as aligned sparkline-style rows."""
+    lines = [title, "-" * len(title)]
+    peak = max(
+        (value for points in series.values() for _, value in points),
+        default=1,
+    )
+    glyphs = " .:-=+*#%@"
+    for name, points in series.items():
+        if not points:
+            lines.append(f"{name:<12s} (no data)")
+            continue
+        end_time = points[-1][0] or 1
+        buckets = [0] * width
+        for time, value in points:
+            slot = min(width - 1, time * width // (end_time + 1))
+            buckets[slot] = max(buckets[slot], value)
+        row = "".join(
+            glyphs[min(len(glyphs) - 1, value * (len(glyphs) - 1) // max(peak, 1))]
+            for value in buckets
+        )
+        lines.append(f"{name:<12s} |{row}| peak={peak}")
+    return "\n".join(lines)
+
+
+def to_csv(columns: Sequence[str], rows: Dict[str, Dict[str, object]]) -> str:
+    """Render {row -> {column -> value}} as CSV (for spreadsheets/plots)."""
+    lines = ["workload," + ",".join(str(c) for c in columns)]
+    for row_name, cells in rows.items():
+        rendered = [row_name]
+        for column in columns:
+            value = cells.get(column, "")
+            rendered.append(f"{value:.6g}" if isinstance(value, float) else str(value))
+        lines.append(",".join(rendered))
+    return "\n".join(lines)
+
+
+def summarize_reduction(ratios: Dict[str, Dict[str, float]], versus: str) -> str:
+    """The paper's headline: write-amplification reduction vs a scheme.
+
+    Returns e.g. "vs picl: 29%-47% fewer NVM bytes (NVOverlay)".
+    """
+    reductions = []
+    for workload, row in ratios.items():
+        ratio = row.get(versus)
+        if ratio and ratio > 0:
+            reductions.append(100.0 * (1.0 - 1.0 / ratio))
+    if not reductions:
+        return f"vs {versus}: no data"
+    return (
+        f"vs {versus}: {min(reductions):.0f}%-{max(reductions):.0f}% "
+        "fewer NVM bytes (NVOverlay)"
+    )

@@ -1,0 +1,159 @@
+"""Experiment runner: (workload x scheme x config) -> structured record.
+
+``run_one`` builds a fresh machine + scheme + workload, runs it to
+completion and distils the statistics every figure consumes: wall-clock
+cycles, NVM bytes by category, evict-reason decomposition, metadata
+sizes, bandwidth series.  ``compare`` sweeps schemes over one workload,
+normalizing cycles to the ideal (no-snapshot) run the way Fig. 11 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..baselines import (
+    HWShadowPaging,
+    NoSnapshot,
+    PiCL,
+    PiCLL2,
+    SWShadowPaging,
+    SWUndoLogging,
+)
+from ..core import NVOverlay, NVOverlayParams
+from ..sim import Machine, SystemConfig
+from ..sim.scheme import SnapshotScheme
+from ..workloads import make_workload
+
+#: Scheme registry, in the paper's figure order.
+SCHEMES: Dict[str, Callable[[], SnapshotScheme]] = {
+    "ideal": NoSnapshot,
+    "sw_logging": SWUndoLogging,
+    "sw_shadow": SWShadowPaging,
+    "hw_shadow": HWShadowPaging,
+    "picl": PiCL,
+    "picl_l2": PiCLL2,
+    "nvoverlay": NVOverlay,
+}
+
+#: The six compared schemes of Fig. 11/12 (ideal is the denominator).
+COMPARED_SCHEMES = [
+    "sw_logging",
+    "sw_shadow",
+    "hw_shadow",
+    "picl",
+    "picl_l2",
+    "nvoverlay",
+]
+
+
+@dataclass
+class RunRecord:
+    """Everything the figures need from one simulation run."""
+
+    workload: str
+    scheme: str
+    cycles: int
+    stores: int
+    transactions: int
+    nvm_bytes: Dict[str, int]
+    evict_reasons: Dict[str, int]
+    bandwidth_series: List[Tuple[int, int]]
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_nvm_bytes(self) -> int:
+        return self.nvm_bytes.get("total", 0)
+
+
+def make_scheme(name: str, nvo_params: Optional[NVOverlayParams] = None) -> SnapshotScheme:
+    if name not in SCHEMES:
+        known = ", ".join(SCHEMES)
+        raise KeyError(f"unknown scheme {name!r}; known: {known}")
+    if name == "nvoverlay" and nvo_params is not None:
+        return NVOverlay(nvo_params)
+    return SCHEMES[name]()
+
+
+def run_one(
+    workload_name: str,
+    scheme_name: str,
+    config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+    nvo_params: Optional[NVOverlayParams] = None,
+) -> RunRecord:
+    """Run one (workload, scheme) pair and collect its record."""
+    config = config or SystemConfig()
+    scheme = make_scheme(scheme_name, nvo_params)
+    machine = Machine(config, scheme=scheme)
+    workload = make_workload(workload_name, num_threads=config.num_cores, scale=scale, seed=seed)
+    result = machine.run(workload)
+
+    stats = machine.stats
+    nvm_bytes = {
+        key.rsplit(".", 1)[-1]: value
+        for key, value in stats.counters("nvm.bytes").items()
+    }
+    evict_reasons = {
+        key.rsplit(".", 1)[-1]: value
+        for key, value in stats.counters("evict_reason").items()
+    }
+    record = RunRecord(
+        workload=workload_name,
+        scheme=scheme_name,
+        cycles=result.cycles,
+        stores=result.stores,
+        transactions=result.transactions,
+        nvm_bytes=nvm_bytes,
+        evict_reasons=evict_reasons,
+        bandwidth_series=machine.nvm.bandwidth_series(),
+    )
+    if isinstance(scheme, NVOverlay):
+        record.extra["master_metadata_bytes"] = scheme.master_metadata_bytes()
+        record.extra["mapped_working_set_bytes"] = scheme.mapped_working_set_bytes()
+        record.extra["rec_epoch"] = scheme.rec_epoch()
+        if scheme.cluster is not None and scheme.params.use_omc_buffer:
+            buffers = [o.buffer for o in scheme.cluster.omcs if o.buffer]
+            hits = sum(b.stats.get("omc_buffer.hits") for b in buffers[:1])
+            writes = sum(b.stats.get("omc_buffer.writes") for b in buffers[:1])
+            record.extra["omc_buffer_hits"] = hits
+            record.extra["omc_buffer_writes"] = writes
+    record.extra["nvm_data_writes"] = stats.get("nvm.writes.data")
+    record.extra["epoch_advances"] = stats.get("epoch.advances")
+    record.extra["coherence_syncs"] = stats.get("epoch.coherence_syncs")
+    return record
+
+
+def compare(
+    workload_name: str,
+    scheme_names: Optional[List[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+    nvo_params: Optional[NVOverlayParams] = None,
+) -> Dict[str, RunRecord]:
+    """Run several schemes (plus the ideal baseline) on one workload.
+
+    Every record's ``extra["normalized_cycles"]`` is cycles relative to
+    the ideal run, and ``extra["normalized_write_bytes"]`` is NVM bytes
+    relative to NVOverlay when NVOverlay is among the schemes — the two
+    normalizations of Figs. 11 and 12.
+    """
+    scheme_names = list(scheme_names or COMPARED_SCHEMES)
+    names = ["ideal"] + [n for n in scheme_names if n != "ideal"]
+    records: Dict[str, RunRecord] = {}
+    for name in names:
+        records[name] = run_one(
+            workload_name, name, config=config, scale=scale, seed=seed,
+            nvo_params=nvo_params,
+        )
+    base = max(records["ideal"].cycles, 1)
+    nvo_bytes = records.get("nvoverlay")
+    for record in records.values():
+        record.extra["normalized_cycles"] = record.cycles / base
+        if nvo_bytes is not None and nvo_bytes.total_nvm_bytes > 0:
+            record.extra["normalized_write_bytes"] = (
+                record.total_nvm_bytes / nvo_bytes.total_nvm_bytes
+            )
+    return records

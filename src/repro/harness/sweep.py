@@ -1,0 +1,203 @@
+"""Parameter sweeps: scalability and design-choice ablations.
+
+The paper's central scalability argument (§II-D) is qualitative: no
+centralized epochs, no monolithic tag walker, write-backs amortized over
+execution.  These sweeps make it quantitative on the simulator:
+
+* ``scalability_sweep`` — NVOverlay's normalized overhead as the machine
+  grows (cores and LLC slices scale together, workload per-core held
+  constant): flat overhead = the scalability claim.
+* ``vd_size_ablation`` — cores per Versioned Domain (1/2/4/8): larger
+  VDs synchronize epochs over more cores but suffer more intra-VD
+  version churn.
+* ``omc_count_ablation`` — address-partitioned OMCs (1..8): metadata
+  duplication vs. parallelism.
+* ``walk_rate_ablation`` — tag-walker scan rate vs. snapshot lag
+  (rec-epoch distance behind execution) and write traffic.
+
+Each returns plain dicts the report module can render; the ablation
+benches under ``benchmarks/`` wrap them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core import NVOverlay, NVOverlayParams
+from ..sim import Machine, SystemConfig
+from ..workloads import make_workload
+from .runner import run_one
+
+
+def scalability_sweep(
+    core_counts: Sequence[int] = (4, 8, 16),
+    workload: str = "uniform",
+    txns_per_core_scale: float = 0.5,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[int, Dict[str, float]]:
+    """NVOverlay overhead vs machine size, per-core work held constant."""
+    base = base_config or SystemConfig()
+    result: Dict[int, Dict[str, float]] = {}
+    for cores in core_counts:
+        if cores % base.cores_per_vd:
+            raise ValueError(f"{cores} cores do not divide into VDs")
+        config = base.with_changes(
+            num_cores=cores,
+            llc_slices=max(2, cores // 4),
+            # Epoch size scales with the machine so per-VD epochs match.
+            epoch_size_stores=base.epoch_size_stores * cores // 16,
+        )
+        ideal = run_one(workload, "ideal", config=config, scale=txns_per_core_scale)
+        nvo = run_one(workload, "nvoverlay", config=config, scale=txns_per_core_scale)
+        result[cores] = {
+            "normalized_cycles": nvo.cycles / max(ideal.cycles, 1),
+            "nvm_bytes_per_store": nvo.total_nvm_bytes / max(nvo.stores, 1),
+            "rec_epoch": nvo.extra["rec_epoch"],
+        }
+    return result
+
+
+def vd_size_ablation(
+    vd_sizes: Sequence[int] = (1, 2, 4),
+    workload: str = "btree",
+    scale: float = 0.5,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Effect of Versioned Domain width (cores sharing one L2/epoch)."""
+    base = base_config or SystemConfig()
+    result: Dict[int, Dict[str, float]] = {}
+    for cores_per_vd in vd_sizes:
+        if base.num_cores % cores_per_vd:
+            raise ValueError(f"VD size {cores_per_vd} does not divide cores")
+        config = base.with_changes(cores_per_vd=cores_per_vd)
+        ideal = run_one(workload, "ideal", config=config, scale=scale)
+        nvo = run_one(workload, "nvoverlay", config=config, scale=scale)
+        result[cores_per_vd] = {
+            "normalized_cycles": nvo.cycles / max(ideal.cycles, 1),
+            "nvm_bytes_per_store": nvo.total_nvm_bytes / max(nvo.stores, 1),
+            "epoch_advances": float(nvo.extra["epoch_advances"]),
+            "coherence_syncs": float(nvo.extra["coherence_syncs"]),
+        }
+    return result
+
+
+def omc_count_ablation(
+    omc_counts: Sequence[int] = (1, 2, 4),
+    workload: str = "art",
+    scale: float = 0.5,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Effect of the number of address-partitioned OMCs."""
+    result: Dict[int, Dict[str, float]] = {}
+    for num_omcs in omc_counts:
+        record = run_one(
+            workload, "nvoverlay", config=base_config, scale=scale,
+            nvo_params=NVOverlayParams(num_omcs=num_omcs),
+        )
+        result[num_omcs] = {
+            "cycles": float(record.cycles),
+            "metadata_bytes": record.extra["master_metadata_bytes"],
+            "metadata_pct_of_ws": 100.0
+            * record.extra["master_metadata_bytes"]
+            / max(record.extra["mapped_working_set_bytes"], 1),
+        }
+    return result
+
+
+def protocol_ablation(
+    workload: str = "btree",
+    scale: float = 0.5,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """MESI vs MOESI under CST (§IV-E protocol compatibility).
+
+    MOESI's Owned state defers load-downgrade write-backs, trading fewer
+    coherence-driven OMC writes for versions that stay dirty on-chip
+    longer (slower recoverability between walker passes).
+    """
+    base = base_config or SystemConfig()
+    result: Dict[str, Dict[str, float]] = {}
+    for protocol in ("mesi", "moesi"):
+        config = base.with_changes(coherence_protocol=protocol)
+        ideal = run_one(workload, "ideal", config=config, scale=scale)
+        nvo = run_one(workload, "nvoverlay", config=config, scale=scale)
+        result[protocol] = {
+            "normalized_cycles": nvo.cycles / max(ideal.cycles, 1),
+            "nvm_data_bytes": float(nvo.nvm_bytes.get("data", 0)),
+            "coherence_writebacks": float(
+                nvo.evict_reasons.get("coherence", 0)
+            ),
+            "tag_walk_writebacks": float(nvo.evict_reasons.get("tag_walk", 0)),
+        }
+    return result
+
+
+def transport_ablation(
+    core_counts: Sequence[int] = (4, 8, 16),
+    workload: str = "uniform",
+    scale: float = 0.3,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Directory vs snoop transport as the machine grows (§II-D).
+
+    Broadcast coherence pays a per-snooper cost on every miss, so its
+    cycles grow with machine size while the distributed directory stays
+    flat — the quantitative version of why prior single-bus designs do
+    not scale.  Returns {transport: {cores: cycles}}.
+    """
+    base = base_config or SystemConfig()
+    result: Dict[str, Dict[int, float]] = {"directory": {}, "snoop": {}}
+    for transport in result:
+        for cores in core_counts:
+            config = base.with_changes(
+                num_cores=cores,
+                llc_slices=max(2, cores // 4),
+                coherence_transport=transport,
+            )
+            record = run_one("uniform" if workload == "uniform" else workload,
+                             "nvoverlay", config=config, scale=scale)
+            result[transport][cores] = float(record.cycles)
+    return result
+
+
+def walk_rate_ablation(
+    rates: Sequence[int] = (8, 64, 256),
+    workload: str = "btree",
+    scale: float = 0.5,
+    base_config: Optional[SystemConfig] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Tag-walker scan rate vs snapshot lag and write traffic.
+
+    Snapshot lag = final epoch minus the largest rec-epoch observed
+    *during* the run (before the finalize flush), i.e. how far behind
+    execution recoverability trails — the §IV-C trade-off.
+    """
+    base = base_config or SystemConfig()
+    result: Dict[int, Dict[str, float]] = {}
+    for rate in rates:
+        config = base.with_changes(tag_walk_rate=rate)
+        scheme = NVOverlay(NVOverlayParams(num_omcs=2))
+        machine = Machine(config, scheme=scheme)
+        wl = make_workload(workload, num_threads=config.num_cores, scale=scale)
+        lag_probe = {"max_rec": 0}
+
+        class Probe:
+            num_threads = wl.num_threads
+
+            def transactions(self, tid):
+                for txn in wl.transactions(tid):
+                    lag_probe["max_rec"] = max(
+                        lag_probe["max_rec"], scheme.cluster.rec_epoch
+                    )
+                    yield txn
+
+        machine.run(Probe())
+        final_epoch = max(vd.cur_epoch for vd in machine.hierarchy.vds)
+        result[rate] = {
+            "snapshot_lag_epochs": float(final_epoch - lag_probe["max_rec"]),
+            "tag_walk_writebacks": float(
+                machine.stats.get("evict_reason.tag_walk")
+            ),
+            "nvm_data_bytes": float(machine.nvm.bytes_written("data")),
+        }
+    return result

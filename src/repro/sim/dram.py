@@ -1,0 +1,54 @@
+"""DRAM timing model: DDR3-1333 behind multiple controllers (Table II).
+
+Working memory is latency-dominated in this simulator: a miss that falls
+through the LLC pays the DRAM latency, slightly reduced by spreading
+accesses across controllers.  DRAM bandwidth is never the bottleneck in
+the paper's experiments (NVM is), so the model deliberately stays simple —
+a per-controller occupancy window is enough to make pathological bursts
+visible without slowing the simulation down.
+"""
+
+from __future__ import annotations
+
+from .config import CACHE_LINE_SIZE, SystemConfig
+from .stats import Stats
+
+
+class DRAM:
+    """Multi-controller DRAM with fixed latency and light occupancy."""
+
+    # Cycles a controller stays busy per 64 B transfer.
+    OCCUPANCY = 8
+
+    def __init__(self, config: SystemConfig, stats: Stats) -> None:
+        self.latency = config.dram_latency
+        self.num_controllers = config.dram_controllers
+        self.stats = stats
+        # Outstanding-work queues, skew-tolerant like the NVM's (q.v.).
+        self._backlog = [0] * config.dram_controllers
+        self._last = [0] * config.dram_controllers
+
+    def _controller_of(self, line: int) -> int:
+        # Hash address bits so strided patterns spread over controllers.
+        mixed = line ^ (line >> 4) ^ (line >> 9)
+        return mixed % self.num_controllers
+
+    def access(self, line: int, now: int, is_write: bool) -> int:
+        """Perform one line transfer; returns the access latency."""
+        ctrl = self._controller_of(line)
+        if now > self._last[ctrl]:
+            drained = now - self._last[ctrl]
+            self._backlog[ctrl] = max(0, self._backlog[ctrl] - drained)
+            self._last[ctrl] = now
+        queue_delay = self._backlog[ctrl]
+        self._backlog[ctrl] += self.OCCUPANCY
+        kind = "write" if is_write else "read"
+        self.stats.inc(f"dram.{kind}s")
+        self.stats.inc(f"dram.{kind}_bytes", CACHE_LINE_SIZE)
+        return queue_delay + self.latency
+
+    def read(self, line: int, now: int) -> int:
+        return self.access(line, now, is_write=False)
+
+    def write(self, line: int, now: int) -> int:
+        return self.access(line, now, is_write=True)

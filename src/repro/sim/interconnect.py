@@ -1,0 +1,100 @@
+"""On-chip / cross-socket interconnect cost model.
+
+The paper assumes a generic network between VDs, LLC slices and memory
+controllers (Fig. 2) and stresses that NVOverlay scales "or even
+distributed" beyond one socket.  Coherence behaviour never depends on
+topology, so a hop-count latency model suffices: local L2 traffic is
+free, reaching an LLC slice costs one hop, a forwarded request to
+another VD costs two (requestor -> directory -> owner), and a
+cache-to-cache transfer saves the hop back through the directory —
+exactly the latency advantage §IV-A3 claims for the dirty-invalidation
+optimization.
+
+With ``num_sockets > 1`` VDs and LLC slices are distributed round-robin
+across sockets and every hop crossing a socket boundary pays
+``socket_hop_penalty`` extra hops, which is how the scalability sweeps
+model multi-socket machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import SystemConfig
+from .stats import Stats
+
+
+class Interconnect:
+    """Hop-latency network between VDs, LLC slices and controllers."""
+
+    def __init__(self, config: SystemConfig, stats: Stats) -> None:
+        self.hop = config.interconnect_hop_latency
+        self.stats = stats
+        self.num_sockets = config.num_sockets
+        self.penalty = config.socket_hop_penalty * self.hop
+        self._vds_per_socket = max(1, config.num_vds // config.num_sockets)
+        self._slices_per_socket = max(1, config.llc_slices // config.num_sockets)
+
+    # -- topology --------------------------------------------------------
+    def socket_of_vd(self, vd_id: int) -> int:
+        return (vd_id // self._vds_per_socket) % self.num_sockets
+
+    def socket_of_slice(self, slice_id: int) -> int:
+        return (slice_id // self._slices_per_socket) % self.num_sockets
+
+    def _cross(self, socket_a: int, socket_b: int) -> int:
+        if self.num_sockets > 1 and socket_a != socket_b:
+            self.stats.inc("net.cross_socket_msgs")
+            return self.penalty
+        return 0
+
+    # -- message costs ------------------------------------------------------
+    def vd_to_llc(self, vd_id: Optional[int] = None, slice_id: Optional[int] = None) -> int:
+        self.stats.inc("net.vd_llc_msgs")
+        latency = self.hop
+        if vd_id is not None and slice_id is not None:
+            latency += self._cross(self.socket_of_vd(vd_id), self.socket_of_slice(slice_id))
+        return latency
+
+    def llc_to_vd(self, slice_id: Optional[int] = None, vd_id: Optional[int] = None) -> int:
+        self.stats.inc("net.llc_vd_msgs")
+        latency = self.hop
+        if vd_id is not None and slice_id is not None:
+            latency += self._cross(self.socket_of_slice(slice_id), self.socket_of_vd(vd_id))
+        return latency
+
+    def vd_to_vd_via_directory(
+        self, from_vd: Optional[int] = None, to_vd: Optional[int] = None
+    ) -> int:
+        """Request forwarded through the LLC directory to a peer VD."""
+        self.stats.inc("net.forwarded_msgs")
+        latency = 2 * self.hop
+        if from_vd is not None and to_vd is not None:
+            latency += self._cross(self.socket_of_vd(from_vd), self.socket_of_vd(to_vd))
+        return latency
+
+    def cache_to_cache(
+        self, from_vd: Optional[int] = None, to_vd: Optional[int] = None
+    ) -> int:
+        """Direct point-to-point transfer between peer caches."""
+        self.stats.inc("net.c2c_msgs")
+        latency = self.hop
+        if from_vd is not None and to_vd is not None:
+            latency += self._cross(self.socket_of_vd(from_vd), self.socket_of_vd(to_vd))
+        return latency
+
+    def vd_to_omc(self, vd_id: Optional[int] = None) -> int:
+        """LLC-bypass path used for version write-backs (§IV-A2)."""
+        self.stats.inc("net.omc_msgs")
+        return self.hop
+
+    def snoop_broadcast(self, num_vds: int) -> int:
+        """Bus-snoop request: every VD sees (and must check) the request.
+
+        Arbitration plus a per-snooper term — the linear component that
+        makes broadcast coherence stop scaling (§II-D's motivation for
+        the distributed directory this simulator defaults to).
+        """
+        self.stats.inc("net.snoop_broadcasts")
+        self.stats.inc("net.snoop_msgs", max(num_vds - 1, 0))
+        return 2 * self.hop + (num_vds * self.hop) // 8

@@ -1,0 +1,96 @@
+"""Flat physical memory model with per-line OID tags and data tokens.
+
+The simulator does not track byte contents.  Instead every store writes a
+monotonically increasing *token* into the target line, which is enough to
+verify end-to-end that a recovered snapshot equals the memory image the
+snapshotting scheme claims to have captured (see ``repro.core.snapshot``).
+
+The DRAM controller in the paper keeps a 16-bit OID alongside every line
+(stored in ECC banks, §IV-A4) so that a version evicted all the way to
+working memory does not lose track of the most recent epoch that wrote it.
+``MainMemory`` models exactly that: ``oid_of``/``set_line`` preserve the
+per-line tag, and the "only update if the incoming OID is larger" rule for
+super-block sharing is honoured by ``merge_oid``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from .config import CACHE_LINE_SHIFT, CACHE_LINE_SIZE, PAGE_SHIFT
+
+
+def line_of(addr: int) -> int:
+    """Cache-line index of a byte address."""
+    return addr >> CACHE_LINE_SHIFT
+
+
+def line_base(line: int) -> int:
+    """First byte address of a cache line index."""
+    return line << CACHE_LINE_SHIFT
+
+
+def page_of(addr: int) -> int:
+    return addr >> PAGE_SHIFT
+
+
+def line_page(line: int) -> int:
+    """Page index of a cache-line index."""
+    return line >> (PAGE_SHIFT - CACHE_LINE_SHIFT)
+
+
+def lines_touched(addr: int, size: int) -> range:
+    """All line indices covered by ``[addr, addr + size)``."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    first = line_of(addr)
+    last = line_of(addr + size - 1)
+    return range(first, last + 1)
+
+
+class MainMemory:
+    """Working memory (DRAM and/or NVM) at cache-line granularity.
+
+    Maps line index -> (data token, OID).  Untouched lines read as
+    ``(0, 0)``; the structure is sparse because the simulated physical
+    address space is 48 bits.
+    """
+
+    def __init__(self) -> None:
+        self._lines: Dict[int, Tuple[int, int]] = {}
+
+    def read_line(self, line: int) -> Tuple[int, int]:
+        """Return (data token, OID) of a line."""
+        return self._lines.get(line, (0, 0))
+
+    def data_of(self, line: int) -> int:
+        return self.read_line(line)[0]
+
+    def oid_of(self, line: int) -> int:
+        return self.read_line(line)[1]
+
+    def set_line(self, line: int, data: int, oid: int) -> None:
+        self._lines[line] = (data, oid)
+
+    def merge_oid(self, line: int, oid: int, newer) -> None:
+        """Update the stored OID only if ``oid`` is newer (§IV-A4).
+
+        ``newer`` is the epoch-comparison predicate (wrap-around aware),
+        supplied by the epoch module so that memory stays policy-free.
+        """
+        data, current = self.read_line(line)
+        if current == 0 or newer(oid, current):
+            self._lines[line] = (data, oid)
+
+    def touched_lines(self) -> Iterator[int]:
+        return iter(self._lines)
+
+    def image(self) -> Dict[int, int]:
+        """line -> data token for every touched line (golden image)."""
+        return {line: data for line, (data, _) in self._lines.items()}
+
+    def footprint_bytes(self) -> int:
+        return len(self._lines) * CACHE_LINE_SIZE
+
+    def __len__(self) -> int:
+        return len(self._lines)

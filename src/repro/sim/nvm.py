@@ -1,0 +1,137 @@
+"""NVDIMM device model: banks, write queueing, bandwidth accounting.
+
+This is the component every snapshotting scheme ultimately contends on,
+so it does three jobs:
+
+* **Timing** — 16 banks (Table II); a write occupies its bank for a
+  configurable window, so concurrent writes to one bank queue up.
+  Synchronous writes (software persistence barriers, §II-A) stall the
+  caller for the full completion latency.  Background writes (hardware
+  schemes persisting in the background, §II-B) only stall the caller when
+  the bank queue grows beyond the back-pressure threshold — this is what
+  makes PiCL's tag-walk bursts and the software schemes' barrier storms
+  cost cycles while NVOverlay's amortized write-backs stay free.
+* **Write accounting** — every write carries a *category* (``data``,
+  ``log``, ``metadata``, ``context``) so the Fig. 12 write-amplification
+  breakdown falls straight out of the counters.
+* **Bandwidth time series** — bytes are bucketed by completion time for
+  the Fig. 17 bandwidth-over-time plots.
+"""
+
+from __future__ import annotations
+
+from .config import CACHE_LINE_SIZE, SystemConfig
+from .stats import Stats
+from .wear import WearTracker
+
+#: Write categories: snapshot ``data``, undo-``log`` entries, mapping
+#: ``metadata``, core-``context`` dumps, and ``working``-memory
+#: write-backs (only when the working set itself lives on NVM).
+WRITE_CATEGORIES = ("data", "log", "metadata", "context", "working")
+
+
+class NVM:
+    """Banked NVDIMM with sync/background write paths."""
+
+    def __init__(self, config: SystemConfig, stats: Stats, name: str = "nvm") -> None:
+        self.config = config
+        self.stats = stats
+        self.name = name
+        self.num_banks = config.nvm_banks
+        self.write_latency = config.nvm_write_latency
+        self.read_latency = config.nvm_read_latency
+        self.bank_occupancy = config.nvm_bank_occupancy
+        self.backpressure = config.nvm_backpressure_cycles
+        self.bandwidth_bucket = config.nvm_bandwidth_bucket
+        # Per-bank outstanding-work model: ``_backlog[b]`` cycles of queued
+        # transfers, decaying in real time since ``_last[b]``.  A backlog
+        # queue rather than a busy-until horizon keeps the model sound
+        # under inter-core clock skew: the deterministic runner lets cores
+        # run ahead, and a laggard's write must queue behind *outstanding
+        # work*, not behind bookings time-stamped in its future.
+        self._backlog = [0] * self.num_banks
+        self._last = [0] * self.num_banks
+        self.wear = WearTracker()
+
+    # -- helpers ---------------------------------------------------------
+    def _bank_of(self, line: int) -> int:
+        # Real controllers hash address bits into the bank index so that
+        # strided access patterns (e.g. 256 B-aligned tree nodes touching
+        # only lines ≡ 0,1 mod 4) don't concentrate on a bank subset.
+        mixed = line ^ (line >> 4) ^ (line >> 9) ^ (line >> 15)
+        return mixed % self.num_banks
+
+    def _occupy(self, line: int, nbytes: int, now: int) -> tuple[int, int]:
+        """Queue one transfer; returns (queue_delay, completion_time)."""
+        bank = self._bank_of(line)
+        if now > self._last[bank]:
+            drained = now - self._last[bank]
+            self._backlog[bank] = max(0, self._backlog[bank] - drained)
+            self._last[bank] = now
+        queue_delay = self._backlog[bank]
+        transfers = max(1, -(-nbytes // CACHE_LINE_SIZE))  # ceil-div
+        self._backlog[bank] += transfers * self.bank_occupancy
+        return queue_delay, now + queue_delay + self.write_latency
+
+    def _account(
+        self, line: int, category: str, nbytes: int, completion: int
+    ) -> None:
+        if category not in WRITE_CATEGORIES:
+            raise ValueError(f"unknown NVM write category {category!r}")
+        self.wear.record(line, nbytes)
+        self.stats.inc(f"{self.name}.writes.{category}")
+        self.stats.inc(f"{self.name}.bytes.{category}", nbytes)
+        self.stats.inc(f"{self.name}.bytes.total", nbytes)
+        self.stats.record_series(
+            f"{self.name}.bandwidth", completion, nbytes, self.bandwidth_bucket
+        )
+
+    # -- write paths -----------------------------------------------------
+    def write_sync(self, line: int, nbytes: int, now: int, category: str) -> int:
+        """Persistence-barrier write: caller stalls until durable."""
+        queue_delay, completion = self._occupy(line, nbytes, now)
+        self._account(line, category, nbytes, completion)
+        self.stats.inc(f"{self.name}.sync_writes")
+        return completion - now
+
+    def write_background(self, line: int, nbytes: int, now: int, category: str) -> int:
+        """Background write: stalls the caller only on queue back-pressure."""
+        queue_delay, completion = self._occupy(line, nbytes, now)
+        self._account(line, category, nbytes, completion)
+        if queue_delay > self.backpressure:
+            stall = queue_delay - self.backpressure
+            self.stats.inc(f"{self.name}.backpressure_stalls")
+            self.stats.inc(f"{self.name}.backpressure_cycles", stall)
+            return stall
+        return 0
+
+    def read(self, line: int, now: int) -> int:
+        """Read one line (recovery / time-travel / working data on NVM)."""
+        bank = self._bank_of(line)
+        if now > self._last[bank]:
+            drained = now - self._last[bank]
+            self._backlog[bank] = max(0, self._backlog[bank] - drained)
+            self._last[bank] = now
+        queue_delay = self._backlog[bank]
+        self._backlog[bank] += self.bank_occupancy
+        self.stats.inc(f"{self.name}.reads")
+        return queue_delay + self.read_latency
+
+    def quiesce(self, now: int = 0) -> None:
+        """Reset queue state (e.g. across a simulated power cycle).
+
+        Byte/wear accounting is preserved; only in-flight timing state is
+        dropped, so post-recovery accesses start from an idle device.
+        """
+        self._backlog = [0] * self.num_banks
+        self._last = [now] * self.num_banks
+
+    # -- inspection ------------------------------------------------------
+    def bytes_written(self, category: str | None = None) -> int:
+        if category is None:
+            return self.stats.get(f"{self.name}.bytes.total")
+        return self.stats.get(f"{self.name}.bytes.{category}")
+
+    def bandwidth_series(self):
+        """(bucket_start_cycle, bytes) pairs, time-ordered."""
+        return self.stats.series(f"{self.name}.bandwidth")

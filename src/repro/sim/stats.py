@@ -1,0 +1,134 @@
+"""Hierarchical statistics registry used by every simulator component.
+
+Components register named counters under dotted scopes (``"l2.0.miss"``,
+``"nvm.bytes_written"``).  The registry also supports bucketed time series
+(for the Fig. 17 bandwidth plots) and log2-bucketed histograms (operation
+latency distributions — how persistence barriers stretch the tail).
+Keeping all measurement in one place means the harness can diff two runs
+without knowing which component produced which number.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class Stats:
+    """A flat registry of counters, time series and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._series: Dict[str, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._series_bucket: Dict[str, int] = {}
+        # name -> log2-bucket index -> count.  Bucket k holds values in
+        # [2^k, 2^(k+1)); bucket 0 holds 0 and 1.
+        self._histograms: Dict[str, Dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    # -- counters --------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+
+    def set(self, name: str, value: int) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._counters.get(name, default)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """All counters whose name starts with ``prefix``."""
+        if not prefix:
+            return dict(self._counters)
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters under a prefix (e.g. per-slice totals)."""
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    # -- time series -----------------------------------------------------
+    def record_series(self, name: str, time: int, amount: int, bucket: int) -> None:
+        """Accumulate ``amount`` into the bucket containing ``time``."""
+        if bucket <= 0:
+            raise ValueError("bucket width must be positive")
+        self._series_bucket[name] = bucket
+        self._series[name][time // bucket] += amount
+
+    def series(self, name: str) -> List[Tuple[int, int]]:
+        """The (bucket_start_time, total) pairs of a series, time-ordered."""
+        bucket = self._series_bucket.get(name)
+        if bucket is None:
+            return []
+        data = self._series[name]
+        return [(idx * bucket, data[idx]) for idx in sorted(data)]
+
+    def series_values(self, name: str) -> List[int]:
+        return [v for _, v in self.series(name)]
+
+    # -- histograms --------------------------------------------------------
+    def observe(self, name: str, value: int) -> None:
+        """Record one sample into a log2-bucketed histogram."""
+        if value < 0:
+            raise ValueError("histogram samples must be non-negative")
+        self._histograms[name][max(value, 1).bit_length() - 1] += 1
+
+    def histogram(self, name: str) -> List[Tuple[int, int]]:
+        """(bucket_lower_bound, count) pairs, ascending."""
+        data = self._histograms.get(name, {})
+        return [(1 << idx if idx else 0, data[idx]) for idx in sorted(data)]
+
+    def percentile(self, name: str, fraction: float) -> int:
+        """Upper bound of the bucket containing the given percentile.
+
+        Log2 buckets give a conservative (within-2x) estimate, which is
+        plenty to compare schemes' tails.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        data = self._histograms.get(name, {})
+        total = sum(data.values())
+        if total == 0:
+            return 0
+        threshold = fraction * total
+        seen = 0
+        for idx in sorted(data):
+            seen += data[idx]
+            if seen >= threshold:
+                return (1 << (idx + 1)) - 1
+        return (1 << (max(data) + 1)) - 1  # pragma: no cover - unreachable
+
+    # -- maintenance -----------------------------------------------------
+    def merge(self, other: "Stats") -> None:
+        for key, value in other._counters.items():
+            self._counters[key] += value
+        for name, data in other._series.items():
+            self._series_bucket[name] = other._series_bucket[name]
+            dest = self._series[name]
+            for idx, value in data.items():
+                dest[idx] += value
+        for name, data in other._histograms.items():
+            dest_hist = self._histograms[name]
+            for idx, value in data.items():
+                dest_hist[idx] += value
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._series.clear()
+        self._series_bucket.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def format(self, prefix: str = "") -> str:
+        lines = [
+            f"{name:<48s} {value}"
+            for name, value in sorted(self.counters(prefix).items())
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stats({len(self._counters)} counters)"

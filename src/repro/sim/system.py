@@ -1,0 +1,142 @@
+"""Machine assembly and the deterministic interleaving runner.
+
+``Machine`` wires the hierarchy, devices and a snapshotting scheme into
+one simulated system.  ``Machine.run`` drives a multi-threaded workload
+with conservative min-clock scheduling: among all threads that still have
+work, the one with the smallest local clock executes its next transaction.
+This yields a deterministic interleaving that still lets fast threads run
+ahead the way real cores do, which matters for the distributed-epoch
+experiments (VDs genuinely skew when their threads progress unevenly).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .config import SystemConfig
+from .dram import DRAM
+from .hierarchy import Hierarchy
+from .interconnect import Interconnect
+from .memory import MainMemory
+from .nvm import NVM
+from .scheme import NoSnapshot, SnapshotScheme
+from .stats import Stats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    transactions: int
+    stores: int
+    stats: Stats
+    per_thread_cycles: Dict[int, int] = field(default_factory=dict)
+
+    def nvm_bytes(self, category: Optional[str] = None) -> int:
+        name = "nvm.bytes.total" if category is None else f"nvm.bytes.{category}"
+        return self.stats.get(name)
+
+
+class Machine:
+    """A simulated multicore with an attached snapshotting scheme."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        scheme: Optional[SnapshotScheme] = None,
+        capture_store_log: bool = False,
+        capture_latency: bool = False,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.scheme = scheme or NoSnapshot()
+        self.stats = Stats()
+        self.mem = MainMemory()
+        self.dram = DRAM(self.config, self.stats)
+        self.nvm = NVM(self.config, self.stats)
+        self.net = Interconnect(self.config, self.stats)
+        self.hierarchy = Hierarchy(
+            self.config, self.stats, self.mem, self.dram, self.nvm, self.net,
+            self.scheme,
+        )
+        if capture_store_log:
+            self.hierarchy.store_log = []
+        #: Record a per-operation latency histogram ("op_latency" /
+        #: "txn_latency") — opt-in, it costs a few percent of runtime.
+        self.capture_latency = capture_latency
+        self._global_stall_until = 0
+        self.scheme.attach(self)
+
+    # -- scheme services ---------------------------------------------------
+    def stall_all_cores_until(self, time: int) -> None:
+        """Schemes call this to model system-wide synchronous phases."""
+        self._global_stall_until = max(self._global_stall_until, time)
+
+    # -- state services -------------------------------------------------------
+    def load_image(self, image: Dict[int, int], oid: int = 0) -> None:
+        """Install a recovered memory image (line -> data) into working
+        memory — the resume-after-crash flow (§V-E)."""
+        for line, data in image.items():
+            self.mem.set_line(line, data, oid)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, workload, max_transactions: Optional[int] = None) -> RunResult:
+        """Drive a workload to completion (or a transaction budget)."""
+        num_threads = workload.num_threads
+        if num_threads > self.config.num_cores:
+            raise ValueError(
+                f"workload has {num_threads} threads but the machine only "
+                f"has {self.config.num_cores} cores"
+            )
+        streams = {tid: workload.transactions(tid) for tid in range(num_threads)}
+        clocks = {tid: 0 for tid in range(num_threads)}
+        ready = [(0, tid) for tid in range(num_threads)]
+        heapq.heapify(ready)
+
+        transactions = 0
+        hierarchy = self.hierarchy
+        scheme = self.scheme
+        while ready:
+            clock, tid = heapq.heappop(ready)
+            vd = hierarchy.vd_of_core(tid)
+            clock = max(clock, self._global_stall_until, vd.stall_until)
+
+            try:
+                txn = next(streams[tid])
+            except StopIteration:
+                clocks[tid] = clock
+                continue
+
+            if hierarchy.epoch_due(vd):
+                clock += hierarchy.advance_epoch(vd, vd.cur_epoch + 1, clock)
+            clock += scheme.on_transaction_boundary(tid, clock)
+            if self.capture_latency:
+                txn_start = clock
+                for op in txn:
+                    latency = hierarchy.execute_op(tid, op, clock)
+                    self.stats.observe("op_latency", latency)
+                    clock += latency
+                self.stats.observe("txn_latency", clock - txn_start)
+            else:
+                for op in txn:
+                    clock += hierarchy.execute_op(tid, op, clock)
+            scheme.poll(clock)
+
+            clocks[tid] = clock
+            transactions += 1
+            if max_transactions is not None and transactions >= max_transactions:
+                break
+            heapq.heappush(ready, (clock, tid))
+
+        end = max(clocks.values(), default=0)
+        end = max(end, self._global_stall_until)
+        scheme.finalize(end)
+        return RunResult(
+            cycles=end,
+            transactions=transactions,
+            stores=self.stats.get("stores"),
+            stats=self.stats,
+            per_thread_cycles=dict(clocks),
+        )

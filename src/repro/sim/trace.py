@@ -1,0 +1,71 @@
+"""Memory-operation records and trace utilities.
+
+Workloads produce per-thread streams of *transactions*: short lists of
+``MemOp`` that execute back-to-back on one core (e.g. all the node
+accesses of a single B+Tree insert).  The runner interleaves transactions
+across threads by simulated clock, so the unit of interleaving is the
+transaction, not the instruction — see DESIGN.md fidelity notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+LOAD = "ld"
+STORE = "st"
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One memory access: kind, byte address, size in bytes."""
+
+    kind: str
+    addr: int
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in (LOAD, STORE):
+            raise ValueError(f"bad op kind {self.kind!r}")
+        if self.addr < 0:
+            raise ValueError("negative address")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == STORE
+
+
+def load(addr: int, size: int = 8) -> MemOp:
+    return MemOp(LOAD, addr, size)
+
+
+def store(addr: int, size: int = 8) -> MemOp:
+    return MemOp(STORE, addr, size)
+
+
+Transaction = Sequence[MemOp]
+
+
+class TraceRecorder:
+    """Captures transactions so a run can be replayed deterministically."""
+
+    def __init__(self) -> None:
+        self._transactions: List[tuple[int, List[MemOp]]] = []
+
+    def record(self, thread: int, transaction: Iterable[MemOp]) -> None:
+        self._transactions.append((thread, list(transaction)))
+
+    def replay(self) -> Iterator[tuple[int, List[MemOp]]]:
+        return iter(self._transactions)
+
+    def ops_for_thread(self, thread: int) -> List[MemOp]:
+        ops: List[MemOp] = []
+        for tid, txn in self._transactions:
+            if tid == thread:
+                ops.extend(txn)
+        return ops
+
+    def __len__(self) -> int:
+        return len(self._transactions)

@@ -1,0 +1,115 @@
+"""Runtime validation of hierarchy and protocol invariants.
+
+These checkers are library code (not test helpers) so users hacking on
+the protocol can assert structural health mid-run — e.g. from a workload
+generator between transactions, or after a suspicious trace:
+
+* **inclusion** — every valid L1 line is backed by its VD's L2;
+* **single-writer** — a line dirty in one VD is held by no other VD;
+* **version order** — within a VD, an L1 copy's OID is never older than
+  a dirty L2 version of the same line (the Fig. 4 invariant);
+* **directory agreement** — directory owner/sharer sets match the VDs
+  that actually hold copies.
+
+``validate_hierarchy`` runs them all and raises ``InvariantViolation``
+with a precise description on the first failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .cache import MESI
+from .hierarchy import Hierarchy
+
+
+class InvariantViolation(AssertionError):
+    """A structural coherence invariant does not hold."""
+
+
+def check_inclusion(hierarchy: Hierarchy) -> None:
+    for vd in hierarchy.vds:
+        for core in vd.core_ids:
+            for entry in hierarchy.l1s[core].iter_lines():
+                if entry.state != MESI.I and not vd.l2.contains(entry.line):
+                    raise InvariantViolation(
+                        f"inclusion: L1 {core} holds line {entry.line:#x} "
+                        f"({entry.state.name}) without an L2 entry in VD {vd.id}"
+                    )
+
+
+def _holders_by_line(hierarchy: Hierarchy) -> Dict[int, List[Tuple[int, str]]]:
+    holders: Dict[int, List[Tuple[int, str]]] = {}
+    for vd in hierarchy.vds:
+        for core in vd.core_ids:
+            for entry in hierarchy.l1s[core].iter_lines():
+                if entry.state != MESI.I:
+                    holders.setdefault(entry.line, []).append((vd.id, entry.state.name))
+        for entry in vd.l2.iter_lines():
+            if entry.state != MESI.I:
+                holders.setdefault(entry.line, []).append((vd.id, entry.state.name))
+    return holders
+
+
+def check_single_writer(hierarchy: Hierarchy) -> None:
+    """M excludes all other copies; O (MOESI) coexists only with S."""
+    for line, entries in _holders_by_line(hierarchy).items():
+        m_vds = {vd for vd, state in entries if state == "M"}
+        o_vds = {vd for vd, state in entries if state == "O"}
+        all_vds = {vd for vd, _state in entries}
+        if m_vds and len(all_vds) > 1:
+            raise InvariantViolation(
+                f"single-writer: line {line:#x} modified in VD(s) {m_vds} "
+                f"while also held by VD(s) {all_vds - m_vds}"
+            )
+        if len(o_vds) > 1:
+            raise InvariantViolation(
+                f"single-writer: line {line:#x} owned (O) by multiple "
+                f"VDs {o_vds}"
+            )
+
+
+def check_version_order(hierarchy: Hierarchy) -> None:
+    """An L1 copy never carries an older OID than a dirty L2 version."""
+    if not hierarchy.versioned:
+        return
+    for vd in hierarchy.vds:
+        for core in vd.core_ids:
+            for entry in hierarchy.l1s[core].iter_lines():
+                if entry.state == MESI.I:
+                    continue
+                l2_entry = vd.l2.lookup(entry.line, touch=False)
+                if l2_entry is not None and l2_entry.dirty and entry.oid < l2_entry.oid:
+                    raise InvariantViolation(
+                        f"version order: VD {vd.id} L1 {core} holds line "
+                        f"{entry.line:#x} @ {entry.oid} below dirty L2 "
+                        f"version @ {l2_entry.oid}"
+                    )
+
+
+def check_directory_agreement(hierarchy: Hierarchy) -> None:
+    holders = _holders_by_line(hierarchy)
+    for line, dentry in hierarchy._dir.items():
+        actual: Set[int] = {vd for vd, _state in holders.get(line, [])}
+        registered = dentry.holders()
+        unregistered = actual - registered
+        if unregistered:
+            raise InvariantViolation(
+                f"directory: line {line:#x} held by VD(s) {unregistered} "
+                f"not registered (owner={dentry.owner}, sharers={dentry.sharers})"
+            )
+    # And the reverse: no line held anywhere without a directory entry.
+    for line, entries in holders.items():
+        if line not in hierarchy._dir:
+            raise InvariantViolation(
+                f"directory: line {line:#x} held by {entries} but has no "
+                "directory entry"
+            )
+
+
+def validate_hierarchy(hierarchy: Hierarchy) -> None:
+    """Run every structural invariant check; raises on the first failure."""
+    check_inclusion(hierarchy)
+    check_single_writer(hierarchy)
+    check_version_order(hierarchy)
+    check_directory_agreement(hierarchy)

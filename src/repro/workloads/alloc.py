@@ -1,0 +1,72 @@
+"""Simulated-memory allocator for workload data structures.
+
+A simple size-class allocator over a region of the simulated physical
+address space: bump allocation with per-size free lists.  Structures use
+it so their nodes have realistic placement — consecutive allocations are
+adjacent (good spatial locality, like a real slab allocator warm path),
+while frees and reallocation mix the address stream up over time.
+
+``AddressSpace`` hands out disjoint regions so independent structures
+and per-thread arenas never alias.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+
+class Arena:
+    """Bump allocator with size-class free lists over [base, base+size)."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if base < 0 or size <= 0:
+            raise ValueError("arena needs a non-negative base and positive size")
+        self.base = base
+        self.size = size
+        self._cursor = base
+        self._free: Dict[int, List[int]] = defaultdict(list)
+        self.allocated_bytes = 0
+
+    @staticmethod
+    def _round(nbytes: int, align: int) -> int:
+        return (nbytes + align - 1) & ~(align - 1)
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        nbytes = self._round(nbytes, align)
+        free_list = self._free[nbytes]
+        if free_list:
+            addr = free_list.pop()
+        else:
+            addr = self._round(self._cursor, align)
+            if addr + nbytes > self.base + self.size:
+                raise MemoryError(
+                    f"arena [{self.base:#x}, +{self.size:#x}) exhausted"
+                )
+            self._cursor = addr + nbytes
+        self.allocated_bytes += nbytes
+        return addr
+
+    def free(self, addr: int, nbytes: int, align: int = 8) -> None:
+        nbytes = self._round(nbytes, align)
+        self._free[nbytes].append(addr)
+        self.allocated_bytes -= nbytes
+
+    def used(self) -> int:
+        return self._cursor - self.base
+
+
+class AddressSpace:
+    """Dispenses disjoint regions of the simulated physical space."""
+
+    REGION_SIZE = 1 << 32
+
+    def __init__(self, base: int = 1 << 36) -> None:
+        self._next = base
+
+    def region(self, size: int = REGION_SIZE) -> Arena:
+        arena = Arena(self._next, size)
+        self._next += size
+        return arena

@@ -1,0 +1,179 @@
+"""Adaptive Radix Tree over simulated memory (the ARTOLC stand-in, §VI-C).
+
+The four adaptive node types of Leis et al. [42]: Node4 and Node16 hold
+sorted key bytes plus child pointers, Node48 holds a 256-entry index into
+48 child slots, Node256 is a direct array.  Keys are fixed 8-byte
+integers consumed byte-wise from the most significant byte.  A full node
+*grows* into the next type — allocate, copy, relink — which is the bursty
+allocation/copy behaviour that, combined with poor key locality, makes
+ART the most NVM-hungry workload in the paper's evaluation (Fig. 11's
+worst case for every scheme).
+
+Path compression is omitted (fixed-length uniform random keys make it a
+no-op structurally); see DESIGN.md's fidelity notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from .alloc import AddressSpace, Arena
+from .base import IndexInsertWorkload, Workload, register_workload
+from .memview import MemView
+
+KEY_BYTES = 8
+HEADER = 16
+
+#: node type -> (fanout, size in bytes)
+NODE_SPECS = {
+    4: (4, HEADER + 4 + 4 * 8),
+    16: (16, HEADER + 16 + 16 * 8),
+    48: (48, HEADER + 256 + 48 * 8),
+    256: (256, HEADER + 256 * 8),
+}
+GROWTH = {4: 16, 16: 48, 48: 256}
+
+
+class _Leaf:
+    __slots__ = ("addr", "key", "value")
+
+    def __init__(self, addr: int, key: int, value: int) -> None:
+        self.addr = addr
+        self.key = key
+        self.value = value
+
+
+class _Node:
+    __slots__ = ("addr", "kind", "children")
+
+    def __init__(self, addr: int, kind: int) -> None:
+        self.addr = addr
+        self.kind = kind
+        self.children: Dict[int, Union["_Node", _Leaf]] = {}
+
+    def full(self) -> bool:
+        return len(self.children) >= NODE_SPECS[self.kind][0]
+
+    def slot_addr(self, key_byte: int) -> int:
+        """Address of the child slot a lookup for ``key_byte`` touches."""
+        if self.kind in (4, 16):
+            # Sorted key array scan + pointer slot.
+            index = sorted(self.children).index(key_byte) if key_byte in self.children else len(self.children) % NODE_SPECS[self.kind][0]
+            return self.addr + HEADER + NODE_SPECS[self.kind][0] + index * 8
+        if self.kind == 48:
+            return self.addr + HEADER + 256 + (key_byte % 48) * 8
+        return self.addr + HEADER + key_byte * 8
+
+
+LEAF_BYTES = 24
+
+
+class AdaptiveRadixTree:
+    """ART with Node4/16/48/256 growth and address-faithful traces."""
+
+    def __init__(self, arena: Arena) -> None:
+        self.arena = arena
+        self.root = self._new_node(4)
+        self.size = 0
+        self.grows = 0
+
+    def _new_node(self, kind: int) -> _Node:
+        return _Node(self.arena.alloc(NODE_SPECS[kind][1], align=64), kind)
+
+    @staticmethod
+    def _byte(key: int, depth: int) -> int:
+        return (key >> (8 * (KEY_BYTES - 1 - depth))) & 0xFF
+
+    # -- operations ------------------------------------------------------
+    def lookup(self, key: int, view: MemView) -> Optional[int]:
+        node: Union[_Node, _Leaf] = self.root
+        depth = 0
+        while isinstance(node, _Node):
+            view.read(node.addr, HEADER)
+            byte = self._byte(key, depth)
+            view.read(node.slot_addr(byte), 8)
+            child = node.children.get(byte)
+            if child is None:
+                return None
+            node = child
+            depth += 1
+        view.read(node.addr, LEAF_BYTES)
+        return node.value if node.key == key else None
+
+    def insert(self, key: int, value: int, view: MemView) -> None:
+        parent: Optional[_Node] = None
+        parent_byte = 0
+        node: Union[_Node, _Leaf] = self.root
+        depth = 0
+        while True:
+            if isinstance(node, _Leaf):
+                view.read(node.addr, LEAF_BYTES)
+                if node.key == key:
+                    view.write(node.addr + 16, 8)
+                    node.value = value
+                    return
+                # Split the leaf: interpose nodes until the keys diverge.
+                assert parent is not None
+                junction = self._new_node(4)
+                view.write(junction.addr, NODE_SPECS[4][1])
+                parent.children[parent_byte] = junction
+                view.write(parent.slot_addr(parent_byte), 8)
+                while self._byte(node.key, depth) == self._byte(key, depth):
+                    deeper = self._new_node(4)
+                    view.write(deeper.addr, NODE_SPECS[4][1])
+                    junction.children[self._byte(key, depth)] = deeper
+                    junction = deeper
+                    depth += 1
+                junction.children[self._byte(node.key, depth)] = node
+                leaf = self._leaf(key, value, view)
+                junction.children[self._byte(key, depth)] = leaf
+                view.write(junction.slot_addr(self._byte(node.key, depth)), 8)
+                view.write(junction.slot_addr(self._byte(key, depth)), 8)
+                self.size += 1
+                return
+
+            view.read(node.addr, HEADER)
+            byte = self._byte(key, depth)
+            view.read(node.slot_addr(byte), 8)
+            child = node.children.get(byte)
+            if child is None:
+                if node.full():
+                    node = self._grow(node, parent, parent_byte, view)
+                leaf = self._leaf(key, value, view)
+                node.children[byte] = leaf
+                view.write(node.slot_addr(byte), 8)
+                view.write(node.addr, HEADER)  # count/key-array update
+                self.size += 1
+                return
+            parent, parent_byte = node, byte
+            node = child
+            depth += 1
+
+    def _leaf(self, key: int, value: int, view: MemView) -> _Leaf:
+        leaf = _Leaf(self.arena.alloc(LEAF_BYTES), key, value)
+        view.write(leaf.addr, LEAF_BYTES)
+        return leaf
+
+    def _grow(
+        self, node: _Node, parent: Optional[_Node], parent_byte: int, view: MemView
+    ) -> _Node:
+        """Grow a full node into the next type: allocate, copy, relink."""
+        self.grows += 1
+        bigger = self._new_node(GROWTH[node.kind])
+        bigger.children = node.children
+        view.read_range(node.addr, NODE_SPECS[node.kind][1])
+        view.write_range(bigger.addr, NODE_SPECS[bigger.kind][1])
+        if parent is None:
+            self.root = bigger
+        else:
+            parent.children[parent_byte] = bigger
+            view.write(parent.slot_addr(parent_byte), 8)
+        self.arena.free(node.addr, NODE_SPECS[node.kind][1], align=64)
+        return bigger
+
+
+@register_workload("art")
+def _make_art(num_threads: int, scale: float, seed: int) -> Workload:
+    tree = AdaptiveRadixTree(AddressSpace().region())
+    inserts = max(1, int(400 * scale))
+    return IndexInsertWorkload(tree, num_threads, inserts, seed=seed)

@@ -1,0 +1,113 @@
+"""Chained hash table over simulated memory (the std::unordered_map
+stand-in from §VI-C).
+
+Layout mirrors a libstdc++-style unordered_map: a bucket array of 8-byte
+head pointers plus 32-byte chain nodes (hash, key, value, next).  Inserts
+read the bucket head, walk the chain, then link a freshly allocated node;
+exceeding load factor 1.0 triggers a rehash into a doubled bucket array —
+a long, bursty transaction touching every node, exactly the behaviour
+that makes bulk-insert workloads hard on snapshotting backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .alloc import AddressSpace, Arena
+from .base import IndexInsertWorkload, Workload, register_workload
+from .memview import MemView
+
+NODE_BYTES = 32
+PTR_BYTES = 8
+
+
+class _Node:
+    __slots__ = ("addr", "key", "value", "next")
+
+    def __init__(self, addr: int, key: int, value: int, next_node: Optional["_Node"]):
+        self.addr = addr
+        self.key = key
+        self.value = value
+        self.next = next_node
+
+
+class HashTable:
+    """Separate-chaining hash table with address-faithful access traces."""
+
+    def __init__(self, arena: Arena, initial_buckets: int = 64) -> None:
+        self.arena = arena
+        self.num_buckets = initial_buckets
+        self.bucket_addr = arena.alloc(initial_buckets * PTR_BYTES, align=64)
+        self.buckets: Dict[int, Optional[_Node]] = {}
+        self.size = 0
+        self.rehashes = 0
+
+    def _bucket_of(self, key: int) -> int:
+        return hash(key) % self.num_buckets
+
+    def _slot_addr(self, index: int) -> int:
+        return self.bucket_addr + index * PTR_BYTES
+
+    def insert(self, key: int, value: int, view: MemView) -> bool:
+        """Insert; returns False if the key already existed (updated)."""
+        index = self._bucket_of(key)
+        view.read(self._slot_addr(index), PTR_BYTES)
+        node = self.buckets.get(index)
+        while node is not None:
+            view.read(node.addr, 16)  # hash + key fields
+            if node.key == key:
+                view.write(node.addr + 16, 8)  # value field
+                node.value = value
+                return False
+            view.read(node.addr + 24, PTR_BYTES)  # next pointer
+            node = node.next
+        addr = self.arena.alloc(NODE_BYTES)
+        view.write(addr, NODE_BYTES)
+        view.write(self._slot_addr(index), PTR_BYTES)
+        self.buckets[index] = _Node(addr, key, value, self.buckets.get(index))
+        self.size += 1
+        if self.size > self.num_buckets:
+            self._rehash(view)
+        return True
+
+    def lookup(self, key: int, view: MemView) -> Optional[int]:
+        index = self._bucket_of(key)
+        view.read(self._slot_addr(index), PTR_BYTES)
+        node = self.buckets.get(index)
+        while node is not None:
+            view.read(node.addr, 16)
+            if node.key == key:
+                view.read(node.addr + 16, 8)
+                return node.value
+            view.read(node.addr + 24, PTR_BYTES)
+            node = node.next
+        return None
+
+    def _rehash(self, view: MemView) -> None:
+        """Double the bucket array and relink every node."""
+        self.rehashes += 1
+        old_buckets = self.buckets
+        old_addr, old_count = self.bucket_addr, self.num_buckets
+        self.num_buckets = old_count * 2
+        self.bucket_addr = self.arena.alloc(self.num_buckets * PTR_BYTES, align=64)
+        self.buckets = {}
+        for index in range(old_count):
+            view.read(old_addr + index * PTR_BYTES, PTR_BYTES)
+            node = old_buckets.get(index)
+            while node is not None:
+                next_node = node.next
+                view.read(node.addr, 16)
+                new_index = hash(node.key) % self.num_buckets
+                view.write(node.addr + 24, PTR_BYTES)  # relink next
+                view.write(self._slot_addr(new_index), PTR_BYTES)
+                node.next = self.buckets.get(new_index)
+                self.buckets[new_index] = node
+                node = next_node
+        self.arena.free(old_addr, old_count * PTR_BYTES, align=64)
+
+
+@register_workload("hash_table")
+def _make_hash_table(num_threads: int, scale: float, seed: int) -> Workload:
+    table = HashTable(AddressSpace().region())
+    inserts = max(1, int(400 * scale))
+    return IndexInsertWorkload(table, num_threads, inserts, seed=seed)

@@ -1,0 +1,48 @@
+"""Access-recording facade the workload data structures run against.
+
+Workload code (B+Tree, ART, hash table...) manipulates *simulated*
+memory: every field read/write goes through a ``MemView``, which records
+a ``MemOp`` at the corresponding byte address.  The structure's logical
+state lives in ordinary Python objects; what the simulator consumes is
+the faithful address trace of the operations — descents, splits, shifts,
+rehashes — at the layout the structure defines.
+
+One ``MemView`` accumulates the accesses of a single operation, which
+the workload then yields as one transaction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.trace import LOAD, STORE, MemOp
+
+
+class MemView:
+    """Collects the memory accesses of one logical operation."""
+
+    def __init__(self) -> None:
+        self._ops: List[MemOp] = []
+
+    def read(self, addr: int, size: int = 8) -> None:
+        self._ops.append(MemOp(LOAD, addr, size))
+
+    def write(self, addr: int, size: int = 8) -> None:
+        self._ops.append(MemOp(STORE, addr, size))
+
+    def read_range(self, addr: int, size: int, stride: int = 64) -> None:
+        """Touch a range with one load per ``stride`` bytes (streaming)."""
+        for offset in range(0, max(size, 1), stride):
+            self.read(addr + offset, min(stride, 8))
+
+    def write_range(self, addr: int, size: int, stride: int = 64) -> None:
+        for offset in range(0, max(size, 1), stride):
+            self.write(addr + offset, min(stride, 8))
+
+    def take(self) -> List[MemOp]:
+        """Return and clear the recorded transaction."""
+        ops, self._ops = self._ops, []
+        return ops
+
+    def __len__(self) -> int:
+        return len(self._ops)

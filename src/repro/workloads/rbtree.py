@@ -1,0 +1,219 @@
+"""Red-black tree over simulated memory (the std::map stand-in, §VI-C).
+
+40-byte nodes (key, value, color word, left/right pointers — the parent
+pointer shares the color word, as in libstdc++'s _Rb_tree_node_base).
+Insertion performs a BST descent reading one key and one pointer per
+level, then the classic recolor/rotate fixup, whose pointer writes crawl
+back up the tree — small scattered writes over an ever-growing node set,
+which is what gives std::map its deep, low-locality access profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .alloc import AddressSpace, Arena
+from .base import IndexInsertWorkload, Workload, register_workload
+from .memview import MemView
+
+NODE_BYTES = 40
+RED, BLACK = 0, 1
+
+# Field offsets within a node.
+OFF_KEY = 0
+OFF_VALUE = 8
+OFF_META = 16  # color + parent pointer word
+OFF_LEFT = 24
+OFF_RIGHT = 32
+
+
+class _Node:
+    __slots__ = ("addr", "key", "value", "color", "parent", "left", "right")
+
+    def __init__(self, addr: int, key: int, value: int) -> None:
+        self.addr = addr
+        self.key = key
+        self.value = value
+        self.color = RED
+        self.parent: Optional[_Node] = None
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+
+class RedBlackTree:
+    """std::map-like RB tree with address-faithful access traces."""
+
+    def __init__(self, arena: Arena) -> None:
+        self.arena = arena
+        self.root: Optional[_Node] = None
+        self.size = 0
+        self.rotations = 0
+
+    # -- operations ---------------------------------------------------------
+    def lookup(self, key: int, view: MemView) -> Optional[int]:
+        node = self.root
+        while node is not None:
+            view.read(node.addr + OFF_KEY, 8)
+            if key == node.key:
+                view.read(node.addr + OFF_VALUE, 8)
+                return node.value
+            side = OFF_LEFT if key < node.key else OFF_RIGHT
+            view.read(node.addr + side, 8)
+            node = node.left if key < node.key else node.right
+        return None
+
+    def insert(self, key: int, value: int, view: MemView) -> bool:
+        parent: Optional[_Node] = None
+        node = self.root
+        while node is not None:
+            view.read(node.addr + OFF_KEY, 8)
+            if key == node.key:
+                view.write(node.addr + OFF_VALUE, 8)
+                node.value = value
+                return False
+            parent = node
+            side = OFF_LEFT if key < node.key else OFF_RIGHT
+            view.read(node.addr + side, 8)
+            node = node.left if key < node.key else node.right
+
+        fresh = _Node(self.arena.alloc(NODE_BYTES), key, value)
+        view.write(fresh.addr, NODE_BYTES)
+        fresh.parent = parent
+        if parent is None:
+            self.root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+            view.write(parent.addr + OFF_LEFT, 8)
+        else:
+            parent.right = fresh
+            view.write(parent.addr + OFF_RIGHT, 8)
+        self.size += 1
+        self._fixup(fresh, view)
+        return True
+
+    # -- red-black fixup -------------------------------------------------------
+    def _fixup(self, node: _Node, view: MemView) -> None:
+        while node.parent is not None and node.parent.color == RED:
+            parent = node.parent
+            grand = parent.parent
+            assert grand is not None, "red root violates the invariants"
+            view.read(grand.addr + OFF_META, 8)
+            if parent is grand.left:
+                uncle = grand.right
+                if uncle is not None and uncle.color == RED:
+                    self._recolor(parent, uncle, grand, view)
+                    node = grand
+                    continue
+                if node is parent.right:
+                    node = parent
+                    self._rotate_left(node, view)
+                    parent = node.parent
+                    assert parent is not None
+                parent.color = BLACK
+                grand.color = RED
+                view.write(parent.addr + OFF_META, 8)
+                view.write(grand.addr + OFF_META, 8)
+                self._rotate_right(grand, view)
+            else:
+                uncle = grand.left
+                if uncle is not None and uncle.color == RED:
+                    self._recolor(parent, uncle, grand, view)
+                    node = grand
+                    continue
+                if node is parent.left:
+                    node = parent
+                    self._rotate_right(node, view)
+                    parent = node.parent
+                    assert parent is not None
+                parent.color = BLACK
+                grand.color = RED
+                view.write(parent.addr + OFF_META, 8)
+                view.write(grand.addr + OFF_META, 8)
+                self._rotate_left(grand, view)
+        assert self.root is not None
+        if self.root.color != BLACK:
+            self.root.color = BLACK
+            view.write(self.root.addr + OFF_META, 8)
+
+    def _recolor(self, parent: _Node, uncle: _Node, grand: _Node, view: MemView) -> None:
+        parent.color = BLACK
+        uncle.color = BLACK
+        grand.color = RED
+        view.write(parent.addr + OFF_META, 8)
+        view.write(uncle.addr + OFF_META, 8)
+        view.write(grand.addr + OFF_META, 8)
+
+    def _rotate_left(self, node: _Node, view: MemView) -> None:
+        self.rotations += 1
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left is not None:
+            pivot.left.parent = node
+            view.write(pivot.left.addr + OFF_META, 8)
+        self._replace_in_parent(node, pivot, view)
+        pivot.left = node
+        node.parent = pivot
+        view.write(node.addr + OFF_RIGHT, 8)
+        view.write(node.addr + OFF_META, 8)
+        view.write(pivot.addr + OFF_LEFT, 8)
+
+    def _rotate_right(self, node: _Node, view: MemView) -> None:
+        self.rotations += 1
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right is not None:
+            pivot.right.parent = node
+            view.write(pivot.right.addr + OFF_META, 8)
+        self._replace_in_parent(node, pivot, view)
+        pivot.right = node
+        node.parent = pivot
+        view.write(node.addr + OFF_LEFT, 8)
+        view.write(node.addr + OFF_META, 8)
+        view.write(pivot.addr + OFF_RIGHT, 8)
+
+    def _replace_in_parent(self, node: _Node, pivot: _Node, view: MemView) -> None:
+        parent = node.parent
+        pivot.parent = parent
+        view.write(pivot.addr + OFF_META, 8)
+        if parent is None:
+            self.root = pivot
+        elif parent.left is node:
+            parent.left = pivot
+            view.write(parent.addr + OFF_LEFT, 8)
+        else:
+            parent.right = pivot
+            view.write(parent.addr + OFF_RIGHT, 8)
+
+    # -- validation (used by tests) ---------------------------------------------
+    def check_invariants(self) -> int:
+        """Verify RB invariants; returns the tree's black height."""
+
+        def walk(node: Optional[_Node], low: Optional[int], high: Optional[int]) -> int:
+            if node is None:
+                return 1
+            if low is not None and node.key <= low:
+                raise AssertionError("BST order violated")
+            if high is not None and node.key >= high:
+                raise AssertionError("BST order violated")
+            if node.color == RED:
+                for child in (node.left, node.right):
+                    if child is not None and child.color == RED:
+                        raise AssertionError("red node with red child")
+            left_height = walk(node.left, low, node.key)
+            right_height = walk(node.right, node.key, high)
+            if left_height != right_height:
+                raise AssertionError("black heights differ")
+            return left_height + (1 if node.color == BLACK else 0)
+
+        if self.root is not None and self.root.color != BLACK:
+            raise AssertionError("root must be black")
+        return walk(self.root, None, None)
+
+
+@register_workload("rbtree")
+def _make_rbtree(num_threads: int, scale: float, seed: int) -> Workload:
+    tree = RedBlackTree(AddressSpace().region())
+    inserts = max(1, int(400 * scale))
+    return IndexInsertWorkload(tree, num_threads, inserts, seed=seed)

@@ -1,0 +1,169 @@
+"""Tests for the five baseline snapshotting schemes."""
+
+import pytest
+
+from repro.baselines import (
+    HWShadowPaging,
+    NoSnapshot,
+    PiCL,
+    PiCLL2,
+    SWShadowPaging,
+    SWUndoLogging,
+)
+from repro.sim import Machine, store
+
+from tests.util import RandomWorkload, ScriptedWorkload, tiny_config
+
+
+def run_scheme(scheme, workload=None, **overrides):
+    machine = Machine(tiny_config(**overrides), scheme=scheme, capture_store_log=True)
+    machine.run(workload or RandomWorkload(num_threads=4, txns_per_thread=200))
+    return machine
+
+
+class TestSWUndoLogging:
+    def test_first_write_per_epoch_logs(self):
+        scheme = SWUndoLogging()
+        machine = run_scheme(
+            scheme,
+            ScriptedWorkload([[[store(0x4000)], [store(0x4000)], [store(0x4008)]]]),
+            epoch_size_stores=1 << 30,
+        )
+        # Two stores to the same line, one log entry; total 1 line -> 1 log.
+        assert machine.stats.get("nvm.writes.log") == 1
+
+    def test_log_entry_is_72_bytes(self):
+        scheme = SWUndoLogging()
+        machine = run_scheme(
+            scheme,
+            ScriptedWorkload([[[store(0x4000)]]]),
+            epoch_size_stores=1 << 30,
+        )
+        assert machine.nvm.bytes_written("log") == 72
+
+    def test_barrier_stalls_slow_execution(self):
+        machine_ideal = Machine(tiny_config())
+        ideal = machine_ideal.run(RandomWorkload(num_threads=4, txns_per_thread=200))
+        machine_sw = Machine(tiny_config(), scheme=SWUndoLogging())
+        slow = machine_sw.run(RandomWorkload(num_threads=4, txns_per_thread=200))
+        assert slow.cycles > ideal.cycles * 1.5
+
+    def test_epoch_end_flush_writes_data(self):
+        scheme = SWUndoLogging()
+        machine = run_scheme(scheme, epoch_size_stores=100)
+        assert machine.nvm.bytes_written("data") > 0
+
+    def test_new_epoch_relogs_lines(self):
+        scheme = SWUndoLogging()
+        ops = [[store(0x4000)] for _ in range(40)]
+        machine = run_scheme(scheme, ScriptedWorkload([ops]), epoch_size_stores=10)
+        assert machine.stats.get("nvm.writes.log") >= 3
+
+
+class TestSWShadowPaging:
+    def test_no_log_writes(self):
+        machine = run_scheme(SWShadowPaging(), epoch_size_stores=100)
+        assert machine.nvm.bytes_written("log") == 0
+
+    def test_table_updates_written(self):
+        machine = run_scheme(SWShadowPaging(), epoch_size_stores=100)
+        assert machine.nvm.bytes_written("metadata") > 0
+
+    def test_cheaper_bytes_than_undo_logging(self):
+        shadow = run_scheme(SWShadowPaging(), epoch_size_stores=100)
+        logging = run_scheme(SWUndoLogging(), epoch_size_stores=100)
+        assert shadow.nvm.bytes_written() < logging.nvm.bytes_written()
+
+
+class TestHWShadow:
+    def test_data_written_once_per_line_per_epoch(self):
+        scheme = HWShadowPaging()
+        ops = [[store(0x4000)] for _ in range(30)]
+        machine = run_scheme(scheme, ScriptedWorkload([ops]), epoch_size_stores=10)
+        # 30 stores in epochs of 10: one 64 B write per epoch, 3 epochs.
+        assert machine.stats.get("nvm.writes.data") == 3
+
+    def test_commit_stalls_all_cores(self):
+        machine_ideal = Machine(tiny_config(epoch_size_stores=100))
+        ideal = machine_ideal.run(RandomWorkload(num_threads=4, txns_per_thread=200))
+        machine_hw = Machine(
+            tiny_config(epoch_size_stores=100), scheme=HWShadowPaging()
+        )
+        hw = machine_hw.run(RandomWorkload(num_threads=4, txns_per_thread=200))
+        assert hw.cycles > ideal.cycles
+
+    def test_lowest_write_bytes_of_hw_schemes(self):
+        hw = run_scheme(HWShadowPaging(), epoch_size_stores=100)
+        picl = run_scheme(PiCL(), epoch_size_stores=100)
+        assert hw.nvm.bytes_written() < picl.nvm.bytes_written()
+
+
+class TestPiCL:
+    def test_log_on_first_write_per_epoch(self):
+        scheme = PiCL()
+        machine = run_scheme(
+            scheme,
+            ScriptedWorkload([[[store(0x4000)], [store(0x4000)]]]),
+            epoch_size_stores=1 << 30,
+        )
+        assert machine.stats.get("nvm.writes.log") == 1
+
+    def test_acs_persists_dirty_lines_at_commit(self):
+        scheme = PiCL()
+        machine = run_scheme(scheme, epoch_size_stores=100)
+        assert machine.stats.get("evict_reason.tag_walk") > 0
+
+    def test_no_core_stalls_from_logging(self):
+        machine_ideal = Machine(tiny_config(epoch_size_stores=200))
+        ideal = machine_ideal.run(RandomWorkload(num_threads=4, txns_per_thread=150))
+        machine_picl = Machine(tiny_config(epoch_size_stores=200), scheme=PiCL())
+        picl = machine_picl.run(RandomWorkload(num_threads=4, txns_per_thread=150))
+        assert picl.cycles <= ideal.cycles * 1.2
+
+    def test_redirtied_line_persists_again(self):
+        scheme = PiCL()
+        ops = [[store(0x4000)] for _ in range(25)]
+        machine = run_scheme(scheme, ScriptedWorkload([ops]), epoch_size_stores=10)
+        assert machine.stats.get("nvm.writes.data") >= 2
+
+
+class TestPiCLL2:
+    def test_persists_on_l2_exit(self):
+        scheme = PiCLL2()
+        machine = run_scheme(scheme, epoch_size_stores=1 << 30)
+        # With a tiny L2 the random workload forces dirty L2 evictions.
+        assert (
+            machine.stats.get("evict_reason.capacity")
+            + machine.stats.get("evict_reason.coherence")
+        ) > 0
+
+    def test_writes_at_least_as_much_as_picl(self):
+        picl = run_scheme(PiCL(), RandomWorkload(4, 300, seed=2))
+        picl_l2 = run_scheme(PiCLL2(), RandomWorkload(4, 300, seed=2))
+        assert picl_l2.nvm.bytes_written("data") >= picl.nvm.bytes_written("data")
+
+
+class TestTable1Flags:
+    def test_nvoverlay_checks_every_column(self):
+        from repro.core import NVOverlay
+
+        scheme = NVOverlay()
+        assert scheme.minimum_write_amplification
+        assert scheme.no_commit_time
+        assert scheme.no_read_flush
+        assert not scheme.persistence_barriers
+        assert scheme.unbounded_working_set
+        assert scheme.supports_non_inclusive_llc
+        assert scheme.distributed_versioning
+
+    def test_picl_requires_inclusive_llc(self):
+        assert not PiCL().supports_non_inclusive_llc
+        assert PiCLL2().supports_non_inclusive_llc
+
+    def test_sw_schemes_use_barriers(self):
+        assert SWUndoLogging().persistence_barriers
+        assert SWShadowPaging().persistence_barriers
+        assert not HWShadowPaging().persistence_barriers
+
+    def test_hw_shadow_bounded_working_set(self):
+        assert not HWShadowPaging().unbounded_working_set

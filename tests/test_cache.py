@@ -1,0 +1,118 @@
+"""Tests for the set-associative cache array."""
+
+import pytest
+
+from repro.sim import MESI, CacheArray, CacheGeometry, Stats
+
+
+def make_array(size=512, ways=2):
+    return CacheArray(CacheGeometry(size, ways, 1), "test", Stats())
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self):
+        assert make_array().lookup(1) is None
+
+    def test_insert_then_hit(self):
+        array = make_array()
+        array.insert(5, MESI.E, 1, 42)
+        entry = array.lookup(5)
+        assert entry is not None
+        assert entry.state == MESI.E
+        assert entry.oid == 1
+        assert entry.data == 42
+
+    def test_insert_overwrites_in_place(self):
+        array = make_array()
+        array.insert(5, MESI.E, 1, 42)
+        array.insert(5, MESI.M, 2, 43)
+        entry = array.lookup(5)
+        assert entry.state == MESI.M
+        assert entry.data == 43
+        assert len(array) == 1
+
+    def test_contains(self):
+        array = make_array()
+        array.insert(9, MESI.S, 0, 0)
+        assert array.contains(9)
+        assert not array.contains(8)
+
+    def test_dirty_property_is_m_state(self):
+        array = make_array()
+        assert array.insert(1, MESI.M, 0, 0).dirty
+        assert not array.insert(2, MESI.E, 0, 0).dirty
+        assert not array.insert(3, MESI.S, 0, 0).dirty
+
+
+class TestReplacement:
+    def test_needs_victim_when_set_full(self):
+        array = make_array(size=256, ways=2)  # 2 sets of 2 ways
+        sets = array.geometry.num_sets
+        array.insert(0, MESI.S, 0, 0)
+        array.insert(sets, MESI.S, 0, 0)  # same set as line 0
+        assert array.needs_victim(2 * sets)
+        assert not array.needs_victim(0)  # present: no victim needed
+        assert not array.needs_victim(1)  # other set has room
+
+    def test_lru_victim_is_least_recent(self):
+        array = make_array(size=256, ways=2)
+        sets = array.geometry.num_sets
+        array.insert(0, MESI.S, 0, 0)
+        array.insert(sets, MESI.S, 0, 0)
+        assert array.choose_victim(2 * sets).line == 0
+        array.lookup(0)  # refresh 0
+        assert array.choose_victim(2 * sets).line == sets
+
+    def test_lookup_without_touch_keeps_lru(self):
+        array = make_array(size=256, ways=2)
+        sets = array.geometry.num_sets
+        array.insert(0, MESI.S, 0, 0)
+        array.insert(sets, MESI.S, 0, 0)
+        array.lookup(0, touch=False)
+        assert array.choose_victim(2 * sets).line == 0
+
+    def test_insert_into_full_set_raises(self):
+        array = make_array(size=256, ways=2)
+        sets = array.geometry.num_sets
+        array.insert(0, MESI.S, 0, 0)
+        array.insert(sets, MESI.S, 0, 0)
+        with pytest.raises(RuntimeError):
+            array.insert(2 * sets, MESI.S, 0, 0)
+
+    def test_choose_victim_on_empty_set_raises(self):
+        with pytest.raises(LookupError):
+            make_array().choose_victim(0)
+
+    def test_remove(self):
+        array = make_array()
+        array.insert(1, MESI.S, 0, 0)
+        removed = array.remove(1)
+        assert removed.line == 1
+        assert array.remove(1) is None
+        assert len(array) == 0
+
+
+class TestIteration:
+    def test_iter_lines_sees_all(self):
+        array = make_array(size=1024, ways=4)
+        for line in range(10):
+            array.insert(line, MESI.S, 0, line * 10)
+        assert sorted(e.line for e in array.iter_lines()) == list(range(10))
+
+    def test_iter_set_bounds(self):
+        array = make_array()
+        with pytest.raises(IndexError):
+            list(array.iter_set(10**6))
+
+    def test_dirty_lines_filter(self):
+        array = make_array(size=1024, ways=4)
+        array.insert(1, MESI.M, 0, 0)
+        array.insert(2, MESI.E, 0, 0)
+        array.insert(3, MESI.M, 0, 0)
+        assert sorted(e.line for e in array.dirty_lines()) == [1, 3]
+
+    def test_clear(self):
+        array = make_array()
+        array.insert(1, MESI.S, 0, 0)
+        array.clear()
+        assert len(array) == 0

@@ -1,0 +1,115 @@
+"""Tests for repro.sim.config: geometry, epoch policies, scaling."""
+
+import pytest
+
+from repro.sim.config import (
+    BurstyEpochPolicy,
+    CacheGeometry,
+    FixedEpochPolicy,
+    SystemConfig,
+)
+
+
+class TestCacheGeometry:
+    def test_basic_derivations(self):
+        geometry = CacheGeometry(8192, 8, 8)
+        assert geometry.num_lines == 128
+        assert geometry.num_sets == 16
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 8, 4)
+
+    def test_direct_mapped(self):
+        geometry = CacheGeometry(1024, 1, 1)
+        assert geometry.num_sets == geometry.num_lines == 16
+
+
+class TestSystemConfig:
+    def test_default_is_16_cores_8_vds(self):
+        config = SystemConfig()
+        assert config.num_cores == 16
+        assert config.num_vds == 8
+
+    def test_cores_must_divide_into_vds(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=10, cores_per_vd=4)
+
+    def test_llc_slice_geometry_divides_capacity(self):
+        config = SystemConfig()
+        slice_geometry = config.llc_slice_geometry
+        assert (
+            slice_geometry.size_bytes * config.llc_slices
+            == config.llc_geometry.size_bytes
+        )
+
+    def test_paper_scale_matches_table2(self):
+        config = SystemConfig.paper_scale()
+        assert config.l1_geometry.size_bytes == 32 * 1024
+        assert config.l1_geometry.latency == 4
+        assert config.l2_geometry.size_bytes == 256 * 1024
+        assert config.l2_geometry.latency == 8
+        assert config.llc_geometry.size_bytes == 32 * 1024 * 1024
+        assert config.llc_geometry.ways == 16
+        assert config.llc_geometry.latency == 30
+        assert config.nvm_banks == 16
+        assert config.dram_controllers == 4
+        assert config.epoch_size_stores == 1_000_000
+
+    def test_with_changes_is_functional(self):
+        config = SystemConfig()
+        other = config.with_changes(epoch_size_stores=42)
+        assert other.epoch_size_stores == 42
+        assert config.epoch_size_stores != 42
+
+    def test_vd_epoch_size_scales_with_vd_share(self):
+        config = SystemConfig(num_cores=16, cores_per_vd=2, epoch_size_stores=8000)
+        assert config.vd_epoch_size_stores == 1000
+
+    def test_vd_epoch_size_never_zero(self):
+        config = SystemConfig(num_cores=16, cores_per_vd=2, epoch_size_stores=3)
+        assert config.vd_epoch_size_stores == 1
+
+    def test_epoch_bits_bounds(self):
+        with pytest.raises(ValueError):
+            SystemConfig(epoch_bits=2)
+        with pytest.raises(ValueError):
+            SystemConfig(epoch_bits=64)
+
+
+class TestEpochPolicies:
+    def test_fixed_policy(self):
+        policy = FixedEpochPolicy(500)
+        assert policy.size_at(0) == 500
+        assert policy.size_at(10**9) == 500
+
+    def test_bursty_policy_windows(self):
+        policy = BurstyEpochPolicy(
+            base_size=1000, bursts=((100, 200, 10), (500, 600, 50))
+        )
+        assert policy.size_at(0) == 1000
+        assert policy.size_at(150) == 10
+        assert policy.size_at(200) == 1000
+        assert policy.size_at(550) == 50
+        assert policy.size_at(10_000) == 1000
+
+    def test_config_uses_policy(self):
+        policy = BurstyEpochPolicy(base_size=1000, bursts=((0, 100, 7),))
+        config = SystemConfig(epoch_policy=policy, epoch_size_stores=9999)
+        assert config.epoch_size_at(50) == 7
+        assert config.epoch_size_at(100) == 1000
+
+    def test_config_without_policy_uses_fixed_size(self):
+        config = SystemConfig(epoch_size_stores=1234)
+        assert config.epoch_size_at(0) == 1234
+        assert config.epoch_size_at(10**7) == 1234
+
+    def test_vd_epoch_size_under_policy(self):
+        policy = BurstyEpochPolicy(base_size=8000, bursts=((0, 1000, 80),))
+        config = SystemConfig(
+            num_cores=16, cores_per_vd=2, epoch_policy=policy
+        )
+        # Inside the burst window: 80 global stores -> 10 per VD.
+        assert config.vd_epoch_size_at(0) == 10
+        # Outside: 8000 -> 1000 per VD.
+        assert config.vd_epoch_size_at(10_000) == 1000

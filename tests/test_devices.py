@@ -1,0 +1,117 @@
+"""Tests for the DRAM and NVM device timing models."""
+
+import pytest
+
+from repro.sim import DRAM, NVM, Stats, SystemConfig
+
+
+def make_nvm(**overrides):
+    config = SystemConfig().with_changes(**overrides) if overrides else SystemConfig()
+    return NVM(config, Stats())
+
+
+class TestNVMTiming:
+    def test_sync_write_pays_full_latency(self):
+        nvm = make_nvm()
+        stall = nvm.write_sync(0, 64, 0, "data")
+        assert stall == nvm.write_latency
+
+    def test_background_write_free_when_queue_short(self):
+        nvm = make_nvm()
+        assert nvm.write_background(0, 64, 0, "data") == 0
+
+    def test_backpressure_after_sustained_burst(self):
+        nvm = make_nvm(nvm_backpressure_cycles=100)
+        stalls = [nvm.write_background(0, 64, 0, "data") for _ in range(50)]
+        assert stalls[0] == 0
+        assert stalls[-1] > 0  # queue built past the threshold
+
+    def test_backlog_drains_with_time(self):
+        nvm = make_nvm(nvm_backpressure_cycles=0)
+        for _ in range(10):
+            nvm.write_background(0, 64, 0, "data")
+        early_stall = nvm.write_background(0, 64, 0, "data")
+        late_stall = nvm.write_background(0, 64, 10**6, "data")
+        assert late_stall == 0
+        assert early_stall > 0
+
+    def test_laggard_writer_does_not_see_future_reservations(self):
+        """Skew tolerance: a write stamped in the past only queues behind
+        outstanding *work*, never behind a run-ahead core's timestamps."""
+        nvm = make_nvm(nvm_backpressure_cycles=0)
+        nvm.write_background(0, 64, 1_000_000, "data")  # run-ahead core
+        stall = nvm.write_background(0, 64, 10, "data")  # laggard
+        assert stall <= 2 * nvm.bank_occupancy
+
+    def test_banks_are_independent(self):
+        nvm = make_nvm(nvm_backpressure_cycles=0)
+        for _ in range(20):
+            nvm.write_background(0, 64, 0, "data")
+        hot = nvm.write_background(0, 64, 0, "data")
+        # find a line mapping to another bank
+        other = next(l for l in range(1, 64) if nvm._bank_of(l) != nvm._bank_of(0))
+        cold = nvm.write_background(other, 64, 0, "data")
+        assert cold < hot
+
+    def test_multi_line_write_occupies_more(self):
+        nvm = make_nvm(nvm_backpressure_cycles=0)
+        nvm.write_background(0, 72, 0, "log")  # 2 transfers
+        stall_after_log = nvm.write_sync(0, 64, 0, "data")
+        nvm2 = make_nvm(nvm_backpressure_cycles=0)
+        nvm2.write_background(0, 64, 0, "data")  # 1 transfer
+        stall_after_data = nvm2.write_sync(0, 64, 0, "data")
+        assert stall_after_log > stall_after_data
+
+    def test_read_latency(self):
+        nvm = make_nvm()
+        assert nvm.read(0, 0) == nvm.read_latency
+
+    def test_bank_hash_spreads_strided_lines(self):
+        nvm = make_nvm()
+        # 256-byte-aligned structures touch lines = 0 (mod 4); the hash
+        # must still spread them over most banks.
+        banks = {nvm._bank_of(line) for line in range(0, 4096, 4)}
+        assert len(banks) >= nvm.num_banks // 2
+
+
+class TestNVMAccounting:
+    def test_categories_tracked(self):
+        nvm = make_nvm()
+        nvm.write_background(0, 64, 0, "data")
+        nvm.write_background(1, 72, 0, "log")
+        nvm.write_sync(2, 8, 0, "metadata")
+        assert nvm.bytes_written("data") == 64
+        assert nvm.bytes_written("log") == 72
+        assert nvm.bytes_written("metadata") == 8
+        assert nvm.bytes_written() == 144
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            make_nvm().write_background(0, 64, 0, "bogus")
+
+    def test_bandwidth_series_records_completions(self):
+        nvm = make_nvm()
+        nvm.write_background(0, 64, 0, "data")
+        nvm.write_background(1, 64, nvm.bandwidth_bucket * 3, "data")
+        series = nvm.bandwidth_series()
+        assert len(series) == 2
+        assert all(value == 64 for _, value in series)
+
+
+class TestDRAM:
+    def test_fixed_latency(self):
+        dram = DRAM(SystemConfig(), Stats())
+        assert dram.read(0, 0) == dram.latency
+
+    def test_queueing_under_burst(self):
+        dram = DRAM(SystemConfig(), Stats())
+        latencies = [dram.write(0, 0) for _ in range(30)]
+        assert latencies[-1] > latencies[0]
+
+    def test_bytes_accounted(self):
+        stats = Stats()
+        dram = DRAM(SystemConfig(), stats)
+        dram.read(0, 0)
+        dram.write(1, 0)
+        assert stats.get("dram.read_bytes") == 64
+        assert stats.get("dram.write_bytes") == 64

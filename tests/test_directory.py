@@ -1,0 +1,78 @@
+"""Tests for finite directory capacity and back-invalidation."""
+
+import pytest
+
+from repro.core import NVOverlay, NVOverlayParams, SnapshotReader, golden_image
+from repro.sim import Machine
+
+from tests.util import (
+    RandomWorkload,
+    ScriptedWorkload,
+    final_image_matches_stores,
+    tiny_config,
+)
+from repro.sim import store, load
+
+
+class TestFiniteDirectory:
+    def test_unbounded_by_default(self):
+        machine = Machine(tiny_config())
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=300))
+        assert machine.stats.get("dir.back_invalidations") == 0
+
+    def test_capacity_enforced(self):
+        machine = Machine(tiny_config(directory_entries_per_slice=16))
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=300, seed=5))
+        assert machine.stats.get("dir.back_invalidations") > 0
+        for slice_lines in machine.hierarchy._dir_lines:
+            assert len(slice_lines) <= 16
+
+    def test_back_invalidation_preserves_dirty_data(self):
+        machine = Machine(
+            tiny_config(directory_entries_per_slice=8), capture_store_log=True
+        )
+        machine.run(RandomWorkload(
+            num_threads=4, txns_per_thread=400, shared_fraction=0.4, seed=7
+        ))
+        mismatches, total = final_image_matches_stores(machine)
+        assert mismatches == 0 and total > 0
+
+    def test_back_invalidated_holder_refetches(self):
+        """A victimized line is re-served correctly on the next access."""
+        machine = Machine(
+            tiny_config(directory_entries_per_slice=4), capture_store_log=True
+        )
+        hot = 0x4000
+        # Write the hot line, then thrash the directory with other lines
+        # in the same slice, then read the hot line back.
+        slices = machine.config.llc_slices
+        filler = [
+            [load(0x100000 + i * 64 * slices)] for i in range(32)
+        ]
+        machine.run(ScriptedWorkload([[[store(hot)]] + filler + [[load(hot)]]]))
+        token = machine.hierarchy.store_log[0][2]
+        image = machine.hierarchy.memory_image()
+        assert image[hot >> 6] == token
+
+    def test_nvoverlay_consistent_under_directory_pressure(self):
+        scheme = NVOverlay(NVOverlayParams(num_omcs=1))
+        machine = Machine(
+            tiny_config(directory_entries_per_slice=12, epoch_size_stores=64),
+            scheme=scheme, capture_store_log=True,
+        )
+        machine.run(RandomWorkload(
+            num_threads=4, txns_per_thread=300, shared_fraction=0.4, seed=9
+        ))
+        assert machine.stats.get("dir.back_invalidations") > 0
+        image = SnapshotReader(scheme.cluster).recover()
+        assert image.lines == golden_image(machine.hierarchy.store_log, image.epoch)
+
+    def test_smaller_directory_means_more_back_invalidations(self):
+        def count(capacity):
+            machine = Machine(
+                tiny_config(directory_entries_per_slice=capacity)
+            )
+            machine.run(RandomWorkload(num_threads=4, txns_per_thread=300, seed=5))
+            return machine.stats.get("dir.back_invalidations")
+
+        assert count(8) > count(64)

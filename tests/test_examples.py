@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are deliverables (they demonstrate the paper's four usage
+models); each declares success/failure itself via asserts or SystemExit,
+so "main() returns" is a meaningful check.  They run at their built-in
+scales, which keeps this module the slowest test file — still well under
+a minute each.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "crash_recovery",
+        "remote_replication",
+        "time_travel_debugging",
+    ],
+)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert "MISMATCH" not in out
+    assert "OK" in out or "savings" in out
+
+
+def test_scheme_shootout_runs(capsys, monkeypatch):
+    module = _load("scheme_shootout")
+    monkeypatch.setattr(sys, "argv", ["scheme_shootout.py", "uniform", "0.05"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "nvoverlay" in out
+
+
+def test_scheme_shootout_rejects_unknown_workload(monkeypatch):
+    module = _load("scheme_shootout")
+    monkeypatch.setattr(sys, "argv", ["scheme_shootout.py", "nope"])
+    with pytest.raises(SystemExit):
+        module.main()

@@ -1,0 +1,95 @@
+"""Tests for garbage collection and version compaction (§V-D)."""
+
+from repro.core import OMC, OMCCluster, compact, compact_if_needed
+from repro.sim import NVM, Stats, SystemConfig
+
+
+def make_omc(**kwargs):
+    stats = Stats()
+    nvm = NVM(SystemConfig(), stats)
+    kwargs.setdefault("pool_pages", 1024)
+    kwargs.setdefault("retain_epoch_tables", False)
+    return OMC(0, nvm, stats, **kwargs)
+
+
+def fill_epochs(omc, epochs, lines_per_epoch=64, stride=1):
+    for epoch in epochs:
+        for i in range(lines_per_epoch):
+            omc.insert_version(i * stride, epoch, epoch * 1000 + i, 0)
+        omc.merge_through(epoch, 0)
+
+
+class TestCompaction:
+    def test_compact_moves_old_live_versions(self):
+        omc = make_omc()
+        # Epoch 1 writes lines 0..63; epoch 2 rewrites only half, so
+        # epoch 1's sub-pages stay pinned by the surviving 32 lines.
+        for line in range(64):
+            omc.insert_version(line, 1, 100 + line, 0)
+        omc.merge_through(1, 0)
+        for line in range(32):
+            omc.insert_version(line, 2, 200 + line, 0)
+        omc.merge_through(2, 0)
+        before_pages = omc.pool.pages_in_use()
+        moved = compact(omc, now=0)
+        assert moved == 32  # the surviving epoch-1 versions
+        assert omc.pool.pages_in_use() <= before_pages
+        # The image is unchanged.
+        for line in range(32):
+            assert omc.read_master(line) == 200 + line
+        for line in range(32, 64):
+            assert omc.read_master(line) == 100 + line
+
+    def test_compact_counts_nvm_writes(self):
+        omc = make_omc()
+        fill_epochs(omc, [1])
+        for line in range(8):
+            omc.insert_version(line, 2, 0, 0)
+        omc.merge_through(2, 0)
+        before = omc.nvm.bytes_written("data")
+        moved = compact(omc, now=0)
+        assert moved > 0
+        assert omc.nvm.bytes_written("data") == before + moved * 64
+
+    def test_compact_nothing_to_do(self):
+        omc = make_omc()
+        assert compact(omc, now=0) == 0
+
+    def test_compact_skips_retained_epochs(self):
+        omc = make_omc(retain_epoch_tables=True)
+        fill_epochs(omc, [1])
+        assert compact(omc, now=0) == 0  # retained sub-pages untouched
+
+    def test_time_travel_sees_original_oid_after_compaction(self):
+        omc = make_omc()
+        fill_epochs(omc, [1])
+        for line in range(8):
+            omc.insert_version(line, 2, 0, 0)
+        omc.merge_through(2, 0)
+        compact(omc, now=0)
+        # Versions moved physically but keep epoch 1 identity via master.
+        assert omc.read_master(40) == 1040
+
+
+class TestQuota:
+    def test_cluster_quota_triggers_compaction(self):
+        stats = Stats()
+        nvm = NVM(SystemConfig(), stats)
+        cluster = OMCCluster(
+            1, 1, nvm, stats,
+            pool_pages=1024, retain_epoch_tables=False, quota_pages=2,
+        )
+        for epoch in range(1, 30):
+            for line in range(64):
+                if epoch == 1 or line < 48:
+                    cluster.insert_version(line, epoch, epoch * 1000 + line, 0)
+            cluster.update_min_ver(0, epoch + 1, 0)
+        assert stats.get("omc0.compacted_versions") > 0
+
+    def test_no_quota_no_compaction(self):
+        stats = Stats()
+        nvm = NVM(SystemConfig(), stats)
+        cluster = OMCCluster(
+            1, 1, nvm, stats, pool_pages=1024, retain_epoch_tables=False,
+        )
+        assert compact_if_needed(cluster, 0) == 0

@@ -1,0 +1,102 @@
+"""Targeted tests for hierarchy paths not covered by the protocol suites:
+multi-line operations, L1 replacement, flush/image helpers, interconnect
+accounting."""
+
+from repro.sim import Interconnect, Machine, MESI, Stats, SystemConfig, load, store
+
+from tests.util import ScriptedWorkload, tiny_config
+
+
+class TestMultiLineOps:
+    def test_store_spanning_lines_dirties_all(self):
+        machine = Machine(tiny_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([[[store(0x4000, 256)]]]))
+        lines = {line for line, *_ in machine.hierarchy.store_log}
+        assert lines == {0x100, 0x101, 0x102, 0x103}
+
+    def test_unaligned_op_touches_both_lines(self):
+        machine = Machine(tiny_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([[[store(0x403C, 8)]]]))  # straddles
+        lines = {line for line, *_ in machine.hierarchy.store_log}
+        assert lines == {0x100, 0x101}
+
+    def test_load_spanning_lines_costs_more(self):
+        machine_small = Machine(tiny_config())
+        r1 = machine_small.run(ScriptedWorkload([[[load(0x4000, 8)]]]))
+        machine_big = Machine(tiny_config())
+        r2 = machine_big.run(ScriptedWorkload([[[load(0x4000, 512)]]]))
+        assert r2.cycles > r1.cycles
+
+
+class TestL1Replacement:
+    def test_dirty_l1_victim_written_back_to_l2(self):
+        config = tiny_config()
+        machine = Machine(config, capture_store_log=True)
+        # Stores to many lines mapping across L1 sets force L1 victims.
+        ops = [[store(0x40000 + i * 64)] for i in range(64)]
+        machine.run(ScriptedWorkload([ops]))
+        assert machine.stats.get("l1.dirty_evictions") > 0
+        # Every token remains reachable through the hierarchy image.
+        golden = {line: token for line, _e, token, _vd in machine.hierarchy.store_log}
+        image = machine.hierarchy.memory_image()
+        assert all(image.get(line) == token for line, token in golden.items())
+
+
+class TestFlushHelpers:
+    def test_flush_all_settles_into_main_memory(self):
+        machine = Machine(tiny_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([[[store(0x4000)], [store(0x8000)]]]))
+        machine.hierarchy.flush_all(0)
+        golden = {line: token for line, _e, token, _vd in machine.hierarchy.store_log}
+        for line, token in golden.items():
+            assert machine.mem.data_of(line) == token
+
+    def test_flush_all_leaves_lines_clean(self):
+        machine = Machine(tiny_config())
+        machine.run(ScriptedWorkload([[[store(0x4000)]]]))
+        machine.hierarchy.flush_all(0)
+        for l1 in machine.hierarchy.l1s:
+            assert not list(l1.dirty_lines())
+        for vd in machine.hierarchy.vds:
+            assert not list(vd.l2.dirty_lines())
+
+    def test_memory_image_prefers_cache_over_memory(self):
+        machine = Machine(tiny_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([[[store(0x4000)]]]))
+        token = machine.hierarchy.store_log[-1][2]
+        # Memory still stale (no flush), yet the image sees the L1 value.
+        assert machine.mem.data_of(0x100) != token
+        assert machine.hierarchy.memory_image()[0x100] == token
+
+
+class TestInterconnect:
+    def test_hop_costs(self):
+        stats = Stats()
+        net = Interconnect(SystemConfig(), stats)
+        assert net.vd_to_llc() == net.hop
+        assert net.vd_to_vd_via_directory() == 2 * net.hop
+        assert net.cache_to_cache() == net.hop
+        assert net.vd_to_omc() == net.hop
+        assert stats.get("net.vd_llc_msgs") == 1
+        assert stats.get("net.forwarded_msgs") == 1
+
+    def test_omc_traffic_counted_only_when_versioned(self):
+        from repro.core import NVOverlay
+
+        plain = Machine(tiny_config())
+        plain.run(ScriptedWorkload([[[store(0x4000)]]]))
+        assert plain.stats.get("net.omc_msgs") == 0
+
+        versioned = Machine(tiny_config(), scheme=NVOverlay())
+        versioned.run(ScriptedWorkload([[[store(0x4000)]]]))
+        assert versioned.stats.get("net.omc_msgs") > 0
+
+
+class TestEvictionStats:
+    def test_llc_eviction_counters(self):
+        machine = Machine(tiny_config())
+        ops = [[store(0x100000 + i * 64)] for i in range(600)]
+        machine.run(ScriptedWorkload([ops]))
+        assert machine.stats.get("llc.evictions") > 0
+        assert machine.stats.get("llc.dirty_evictions") > 0
+        assert machine.stats.get("dram.writes") > 0

@@ -1,0 +1,58 @@
+"""Tests for the opt-in latency capture path and NVM quiesce."""
+
+from repro.baselines import SWUndoLogging
+from repro.sim import Machine, NoSnapshot
+
+from tests.util import RandomWorkload, tiny_config
+
+
+class TestLatencyCapture:
+    def test_disabled_by_default(self):
+        machine = Machine(tiny_config())
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=50))
+        assert machine.stats.histogram("op_latency") == []
+
+    def test_histograms_populated_when_enabled(self):
+        machine = Machine(tiny_config(), capture_latency=True)
+        result = machine.run(RandomWorkload(num_threads=4, txns_per_thread=50))
+        op_samples = sum(c for _, c in machine.stats.histogram("op_latency"))
+        txn_samples = sum(c for _, c in machine.stats.histogram("txn_latency"))
+        assert txn_samples == result.transactions
+        assert op_samples >= txn_samples  # >= 1 op per transaction
+
+    def test_capture_does_not_change_timing(self):
+        results = []
+        for flag in (False, True):
+            machine = Machine(tiny_config(), capture_latency=flag)
+            results.append(
+                machine.run(RandomWorkload(num_threads=4, txns_per_thread=100)).cycles
+            )
+        assert results[0] == results[1]
+
+    def test_barriers_visible_in_tail(self):
+        def p999(scheme):
+            machine = Machine(
+                tiny_config(epoch_size_stores=200), scheme=scheme,
+                capture_latency=True,
+            )
+            machine.run(RandomWorkload(num_threads=4, txns_per_thread=200, seed=3))
+            return machine.stats.percentile("op_latency", 0.999)
+
+        assert p999(SWUndoLogging()) > p999(NoSnapshot())
+
+
+class TestNVMQuiesce:
+    def test_quiesce_clears_queues(self):
+        machine = Machine(tiny_config())
+        nvm = machine.nvm
+        for _ in range(200):
+            nvm.write_background(0, 64, 0, "data")
+        nvm.quiesce()
+        assert nvm.write_background(0, 64, 0, "data") == 0
+
+    def test_quiesce_keeps_accounting(self):
+        machine = Machine(tiny_config())
+        machine.nvm.write_background(0, 64, 0, "data")
+        before = machine.nvm.bytes_written()
+        machine.nvm.quiesce()
+        assert machine.nvm.bytes_written() == before

@@ -1,0 +1,78 @@
+"""Tests for address helpers and the flat main-memory model."""
+
+import pytest
+
+from repro.sim import MainMemory, line_base, line_of, lines_touched, page_of
+from repro.sim.memory import line_page
+
+
+class TestAddressHelpers:
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+        assert line_of(0x1000) == 64
+
+    def test_line_base_roundtrip(self):
+        for addr in (0, 64, 4096, 0xDEADBEC0):
+            assert line_base(line_of(addr)) <= addr < line_base(line_of(addr)) + 64
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+
+    def test_line_page(self):
+        assert line_page(0) == 0
+        assert line_page(63) == 0
+        assert line_page(64) == 1
+
+    def test_lines_touched_single(self):
+        assert list(lines_touched(0, 8)) == [0]
+        assert list(lines_touched(60, 4)) == [0]
+
+    def test_lines_touched_straddles(self):
+        assert list(lines_touched(60, 8)) == [0, 1]
+        assert list(lines_touched(0, 256)) == [0, 1, 2, 3]
+
+    def test_lines_touched_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lines_touched(0, 0)
+
+
+class TestMainMemory:
+    def test_untouched_reads_zero(self):
+        assert MainMemory().read_line(123) == (0, 0)
+
+    def test_set_and_read(self):
+        mem = MainMemory()
+        mem.set_line(5, data=77, oid=3)
+        assert mem.read_line(5) == (77, 3)
+        assert mem.data_of(5) == 77
+        assert mem.oid_of(5) == 3
+
+    def test_merge_oid_only_raises(self):
+        mem = MainMemory()
+        mem.set_line(1, data=10, oid=5)
+        mem.merge_oid(1, 3, newer=lambda a, b: a > b)
+        assert mem.oid_of(1) == 5
+        mem.merge_oid(1, 9, newer=lambda a, b: a > b)
+        assert mem.oid_of(1) == 9
+
+    def test_merge_oid_sets_on_empty(self):
+        mem = MainMemory()
+        mem.merge_oid(7, 4, newer=lambda a, b: a > b)
+        assert mem.oid_of(7) == 0 or mem.oid_of(7) == 4  # empty lines take the tag
+        # A touched-but-zero-oid line takes any tag.
+        mem.set_line(8, data=1, oid=0)
+        mem.merge_oid(8, 2, newer=lambda a, b: a > b)
+        assert mem.oid_of(8) == 2
+
+    def test_image_and_footprint(self):
+        mem = MainMemory()
+        mem.set_line(1, 10, 0)
+        mem.set_line(2, 20, 0)
+        assert mem.image() == {1: 10, 2: 20}
+        assert mem.footprint_bytes() == 128
+        assert len(mem) == 2
+        assert sorted(mem.touched_lines()) == [1, 2]

@@ -1,0 +1,178 @@
+"""Tests for the MOESI protocol variant (§IV-E protocol compatibility).
+
+MOESI's Owned state keeps a downgraded dirty line dirty-shared at its
+owner rather than writing it back — under CST this defers the version's
+OMC write-back until eviction or a tag-walker pass.
+"""
+
+import pytest
+
+from repro.core import NVOverlay, NVOverlayParams, SnapshotReader, golden_image
+from repro.sim import MESI, Machine, load, store
+from repro.sim.validate import validate_hierarchy
+
+from tests.util import RandomWorkload, ScriptedWorkload, tiny_config
+
+ADDR = 0x4000
+LINE = ADDR >> 6
+
+
+def moesi_config(**overrides):
+    return tiny_config(coherence_protocol="moesi", **overrides)
+
+
+class TestOwnedState:
+    def test_downgrade_leaves_owner_in_o(self):
+        machine = Machine(moesi_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([
+            [[store(ADDR)]],  # core 0 (VD0) writes
+            [],
+            [[load(ADDR)]],  # core 2 (VD1) reads
+        ]))
+        owner_l2 = machine.hierarchy.vds[0].l2.lookup(LINE, touch=False)
+        assert owner_l2.state == MESI.O
+        # Directory still records VD0 as owner, VD1 as sharer.
+        dentry = machine.hierarchy._dir[LINE]
+        assert dentry.owner == 0
+        assert 1 in dentry.sharers
+
+    def test_reader_gets_current_data(self):
+        machine = Machine(moesi_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([
+            [[store(ADDR)]],
+            [],
+            [[load(ADDR)]],
+        ]))
+        token = machine.hierarchy.store_log[0][2]
+        assert machine.hierarchy.l1s[2].lookup(LINE).data == token
+
+    def test_mesi_mode_writes_back_instead(self):
+        machine = Machine(tiny_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([
+            [[store(ADDR)]],
+            [],
+            [[load(ADDR)]],
+        ]))
+        owner_l2 = machine.hierarchy.vds[0].l2.lookup(LINE, touch=False)
+        assert owner_l2.state == MESI.S
+
+    def test_owner_store_invalidates_remote_sharers(self):
+        machine = Machine(moesi_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([
+            [[store(ADDR)], [store(ADDR)]],  # write, (after read) write again
+            [],
+            [[load(ADDR)]],
+        ]))
+        mismatch = 0
+        token = machine.hierarchy.store_log[-1][2]
+        image = machine.hierarchy.memory_image()
+        assert image[LINE] == token
+
+    def test_remote_store_takes_dirty_version_from_o_owner(self):
+        machine = Machine(moesi_config(), capture_store_log=True)
+        machine.run(ScriptedWorkload([
+            [[store(ADDR)]],
+            [],
+            [[load(ADDR)], [store(ADDR)]],  # VD1: share then write
+        ]))
+        token = machine.hierarchy.store_log[-1][2]
+        assert machine.hierarchy.memory_image()[LINE] == token
+        # Old owner fully gone.
+        assert machine.hierarchy.vds[0].l2.lookup(LINE, touch=False) is None
+
+
+class TestMOESICorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_token_consistency(self, seed):
+        machine = Machine(moesi_config(), capture_store_log=True)
+        machine.run(RandomWorkload(
+            num_threads=4, txns_per_thread=300, shared_fraction=0.6, seed=seed
+        ))
+        golden = {l: t for l, _e, t, _v in machine.hierarchy.store_log}
+        image = machine.hierarchy.memory_image()
+        assert all(image.get(l) == t for l, t in golden.items())
+        validate_hierarchy(machine.hierarchy)
+
+    def test_versioned_recovery_exact_under_moesi(self):
+        scheme = NVOverlay(NVOverlayParams(num_omcs=2))
+        machine = Machine(
+            moesi_config(epoch_size_stores=64), scheme=scheme,
+            capture_store_log=True,
+        )
+        machine.run(RandomWorkload(
+            num_threads=4, txns_per_thread=300, shared_fraction=0.6, seed=7
+        ))
+        image = SnapshotReader(scheme.cluster).recover()
+        assert image.lines == golden_image(machine.hierarchy.store_log, image.epoch)
+
+    def test_moesi_defers_coherence_writebacks(self):
+        """Under CST, MOESI's O state avoids the per-downgrade OMC write."""
+        def coherence_writes(protocol):
+            scheme = NVOverlay(NVOverlayParams(num_omcs=1))
+            machine = Machine(
+                tiny_config(coherence_protocol=protocol), scheme=scheme
+            )
+            machine.run(RandomWorkload(
+                num_threads=4, txns_per_thread=300, shared_fraction=0.7, seed=3
+            ))
+            return machine.stats.get("evict_reason.coherence")
+
+        assert coherence_writes("moesi") < coherence_writes("mesi")
+
+    def test_validate_rejects_double_owner(self):
+        from repro.sim.validate import InvariantViolation, check_single_writer
+
+        machine = Machine(moesi_config())
+        machine.run(ScriptedWorkload([[[store(ADDR)]]]))
+        hierarchy = machine.hierarchy
+        for vd in hierarchy.vds:
+            while vd.l2.needs_victim(LINE):
+                vd.l2.remove(vd.l2.choose_victim(LINE).line)
+            vd.l2.insert(LINE, MESI.O, 0, 1)
+        with pytest.raises(InvariantViolation):
+            check_single_writer(hierarchy)
+
+
+class TestMultiSocket:
+    def test_cross_socket_traffic_counted(self):
+        config = tiny_config(num_sockets=2)
+        machine = Machine(config, capture_store_log=True)
+        machine.run(ScriptedWorkload([
+            [[store(ADDR)]],
+            [],
+            [[load(ADDR)]],  # VD1 is on the other socket
+        ]))
+        assert machine.stats.get("net.cross_socket_msgs") > 0
+
+    def test_cross_socket_latency_penalty(self):
+        def run(num_sockets):
+            machine = Machine(tiny_config(num_sockets=num_sockets))
+            return machine.run(RandomWorkload(
+                num_threads=4, txns_per_thread=200, shared_fraction=0.8, seed=1
+            )).cycles
+
+        assert run(2) > run(1)
+
+    def test_single_socket_has_no_penalty(self):
+        machine = Machine(tiny_config(num_sockets=1))
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=100))
+        assert machine.stats.get("net.cross_socket_msgs") == 0
+
+    def test_sockets_must_divide_cores(self):
+        import pytest
+        from repro.sim import SystemConfig
+
+        with pytest.raises(ValueError):
+            SystemConfig(num_cores=16, num_sockets=3)
+
+    def test_moesi_with_nvoverlay_multisocket_consistency(self):
+        scheme = NVOverlay(NVOverlayParams(num_omcs=2))
+        machine = Machine(
+            moesi_config(num_sockets=2, epoch_size_stores=64),
+            scheme=scheme, capture_store_log=True,
+        )
+        machine.run(RandomWorkload(
+            num_threads=4, txns_per_thread=250, shared_fraction=0.5, seed=11
+        ))
+        image = SnapshotReader(scheme.cluster).recover()
+        assert image.lines == golden_image(machine.hierarchy.store_log, image.epoch)

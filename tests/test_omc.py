@@ -1,0 +1,245 @@
+"""Tests for the OMC and its cluster: ingest, merge, rec-epoch, GC."""
+
+import pytest
+
+from repro.core import OMC, OMCCluster
+from repro.sim import NVM, Stats, SystemConfig
+
+
+def make_omc(**kwargs):
+    stats = Stats()
+    nvm = NVM(SystemConfig(), stats)
+    kwargs.setdefault("pool_pages", 1024)
+    return OMC(0, nvm, stats, **kwargs)
+
+
+def make_cluster(num_omcs=2, num_vds=2, **kwargs):
+    stats = Stats()
+    nvm = NVM(SystemConfig(), stats)
+    kwargs.setdefault("pool_pages", 1024)
+    return OMCCluster(num_omcs, num_vds, nvm, stats, **kwargs)
+
+
+class TestVersionIngest:
+    def test_insert_creates_epoch_table(self):
+        omc = make_omc()
+        omc.insert_version(line=5, oid=2, data=42, now=0)
+        assert 2 in omc.tables
+        assert omc.tables[2].lookup(5) is not None
+
+    def test_insert_counts_nvm_data_bytes(self):
+        omc = make_omc()
+        omc.insert_version(5, 2, 42, 0)
+        assert omc.nvm.bytes_written("data") == 64
+
+    def test_redundant_insert_same_epoch_replaces(self):
+        omc = make_omc()
+        omc.insert_version(5, 2, 41, 0)
+        omc.insert_version(5, 2, 42, 0)
+        assert len(omc.tables[2]) == 1
+        assert omc.stats.get("omc0.redundant_versions") == 1
+
+    def test_insert_after_merge_raises(self):
+        omc = make_omc()
+        omc.insert_version(5, 2, 42, 0)
+        omc.merge_through(3, 0)
+        with pytest.raises(RuntimeError):
+            omc.insert_version(6, 3, 43, 0)
+
+    def test_different_epochs_kept_separately(self):
+        omc = make_omc()
+        omc.insert_version(5, 1, 10, 0)
+        omc.insert_version(5, 2, 20, 0)
+        assert omc.time_travel_read(5, 1) == (10, 1)
+        assert omc.time_travel_read(5, 2) == (20, 2)
+
+
+class TestMerge:
+    def test_master_reflects_newest_merged(self):
+        omc = make_omc()
+        omc.insert_version(5, 1, 10, 0)
+        omc.insert_version(5, 2, 20, 0)
+        omc.merge_through(2, 0)
+        assert omc.read_master(5) == 20
+
+    def test_merge_ascending_order(self):
+        omc = make_omc()
+        omc.insert_version(5, 2, 20, 0)
+        omc.insert_version(5, 1, 10, 0)  # inserted out of order
+        omc.merge_through(2, 0)
+        assert omc.read_master(5) == 20  # higher epoch still wins
+
+    def test_merge_is_idempotent(self):
+        omc = make_omc()
+        omc.insert_version(5, 1, 10, 0)
+        first = omc.merge_through(1, 0)
+        second = omc.merge_through(1, 0)
+        assert first == 1 and second == 0
+
+    def test_merge_counts_metadata_writes(self):
+        omc = make_omc()
+        omc.insert_version(5, 1, 10, 0)
+        omc.merge_through(1, 0)
+        assert omc.nvm.bytes_written("metadata") > 0
+
+    def test_partial_merge_leaves_later_epochs(self):
+        omc = make_omc()
+        omc.insert_version(5, 1, 10, 0)
+        omc.insert_version(6, 3, 30, 0)
+        omc.merge_through(2, 0)
+        assert omc.read_master(5) == 10
+        assert omc.read_master(6) is None
+
+    def test_merge_without_retention_frees_tables(self):
+        omc = make_omc(retain_epoch_tables=False)
+        omc.insert_version(5, 1, 10, 0)
+        omc.merge_through(1, 0)
+        assert 1 not in omc.tables
+        assert omc.read_master(5) == 10  # data still reachable via master
+
+    def test_superseded_version_storage_reclaimed(self):
+        omc = make_omc(retain_epoch_tables=False)
+        for epoch in range(1, 40):
+            for line in range(64):
+                omc.insert_version(line, epoch, epoch * 100 + line, 0)
+            omc.merge_through(epoch, 0)
+        # Only the newest epoch's sub-pages should still be allocated.
+        assert omc.pool.pages_in_use() <= 4
+
+
+class TestClusterRecEpoch:
+    def test_initial_rec_epoch_zero(self):
+        assert make_cluster().rec_epoch == 0
+
+    def test_rec_epoch_is_min_minus_one(self):
+        cluster = make_cluster(num_vds=2)
+        cluster.update_min_ver(0, 5, 0)
+        assert cluster.rec_epoch == 0  # vd1 still at 1
+        cluster.update_min_ver(1, 3, 0)
+        assert cluster.rec_epoch == 2
+
+    def test_rec_epoch_never_regresses(self):
+        cluster = make_cluster(num_vds=1)
+        cluster.update_min_ver(0, 5, 0)
+        assert cluster.rec_epoch == 4
+        cluster.update_min_ver(0, 4, 0)
+        assert cluster.rec_epoch == 4
+
+    def test_advance_merges_all_omcs(self):
+        cluster = make_cluster(num_omcs=2, num_vds=1)
+        cluster.insert_version(5, 1, 10, 0)  # lands on one OMC by region
+        cluster.insert_version((1 << 18) + 5, 1, 20, 0)  # the other
+        cluster.update_min_ver(0, 2, 0)
+        _epoch, image = cluster.recover()
+        assert image == {5: 10, (1 << 18) + 5: 20}
+
+    def test_lower_min_ver_blocks_advance(self):
+        cluster = make_cluster(num_vds=2)
+        cluster.update_min_ver(0, 10, 0)
+        cluster.lower_min_ver(1, 3)
+        cluster.update_min_ver(0, 12, 0)
+        assert cluster.rec_epoch <= 2
+
+    def test_lower_min_ver_only_lowers(self):
+        cluster = make_cluster(num_vds=1)
+        cluster.update_min_ver(0, 5, 0)
+        cluster.lower_min_ver(0, 9)
+        assert cluster.min_vers[0] == 5
+
+    def test_rec_epoch_persisted_to_nvm(self):
+        cluster = make_cluster(num_vds=1)
+        before = cluster.nvm.bytes_written("metadata")
+        cluster.update_min_ver(0, 5, 0)
+        assert cluster.nvm.bytes_written("metadata") > before
+
+
+class TestClusterRecovery:
+    def test_recover_returns_epoch_and_image(self):
+        cluster = make_cluster(num_vds=1)
+        cluster.insert_version(5, 1, 11, 0)
+        cluster.insert_version(5, 2, 22, 0)
+        cluster.update_min_ver(0, 2, 0)  # rec = 1
+        epoch, image = cluster.recover()
+        assert epoch == 1
+        assert image[5] == 11  # epoch-2 version not merged yet
+
+    def test_context_recovery(self):
+        cluster = make_cluster(num_vds=1)
+        cluster.record_context(0, 1)
+        cluster.record_context(0, 4)
+        cluster.update_min_ver(0, 4, 0)  # rec = 3
+        assert cluster.recovered_context_epoch(0) == 1
+        cluster.update_min_ver(0, 6, 0)  # rec = 5
+        assert cluster.recovered_context_epoch(0) == 4
+
+    def test_snapshot_image_fall_through(self):
+        cluster = make_cluster(num_vds=1)
+        cluster.insert_version(5, 1, 11, 0)
+        cluster.insert_version(6, 2, 22, 0)
+        image = cluster.snapshot_image(2)
+        assert image == {5: 11, 6: 22}
+        image1 = cluster.snapshot_image(1)
+        assert image1 == {5: 11}
+
+    def test_time_travel_read_routes_by_region(self):
+        cluster = make_cluster(num_omcs=2, num_vds=1)
+        line = (1 << 18) * 3 + 7
+        cluster.insert_version(line, 1, 99, 0)
+        assert cluster.time_travel_read(line, 1) == (99, 1)
+        assert cluster.time_travel_read(line + 1, 1) is None
+
+
+class TestColdRestart:
+    def _populated_cluster(self):
+        cluster = make_cluster(num_omcs=2, num_vds=1)
+        for epoch in (1, 2, 3):
+            for line in range(16):
+                cluster.insert_version(line, epoch, epoch * 100 + line, 0)
+            cluster.insert_version((1 << 18) + epoch, epoch, 7000 + epoch, 0)
+        cluster.update_min_ver(0, 3, 0)  # rec = 2; epoch 3 not recoverable
+        return cluster
+
+    def test_restart_preserves_recoverable_image(self):
+        cluster = self._populated_cluster()
+        _epoch, before = cluster.recover()
+        restarted = cluster.cold_restart()
+        assert restarted.rec_epoch == 2
+        _epoch2, after = restarted.recover()
+        assert after == before
+
+    def test_unrecoverable_epochs_are_gone(self):
+        cluster = self._populated_cluster()
+        restarted = cluster.cold_restart()
+        # Epoch 3 never committed: no table, no readable versions.
+        assert all(3 not in omc.tables for omc in restarted.omcs)
+        assert restarted.time_travel_read(5, 3) == (205, 2)
+
+    def test_restart_accepts_new_versions_after_rec(self):
+        cluster = self._populated_cluster()
+        restarted = cluster.cold_restart()
+        restarted.insert_version(5, 4, 999, 0)
+        restarted.update_min_ver(0, 5, 0)
+        _epoch, image = restarted.recover()
+        assert image[5] == 999
+
+    def test_restart_rejects_stale_versions(self):
+        cluster = self._populated_cluster()
+        restarted = cluster.cold_restart()
+        with pytest.raises(RuntimeError):
+            restarted.insert_version(5, 2, 1, 0)
+
+    def test_restart_rebuilds_pool_bitmap(self):
+        cluster = self._populated_cluster()
+        restarted = cluster.cold_restart()
+        assert restarted.pages_in_use() > 0
+
+
+class TestAccounting:
+    def test_metadata_and_working_set_sizes(self):
+        cluster = make_cluster(num_vds=1)
+        for line in range(128):
+            cluster.insert_version(line, 1, line, 0)
+        cluster.update_min_ver(0, 2, 0)
+        assert cluster.mapped_working_set_bytes() == 128 * 64
+        assert cluster.master_metadata_bytes() > 0
+        assert cluster.pages_in_use() > 0

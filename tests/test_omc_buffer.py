@@ -1,0 +1,67 @@
+"""Tests for the battery-backed OMC write-back buffer (§IV-E)."""
+
+from repro.core import OMCBuffer
+from repro.sim import CacheGeometry, Stats
+
+
+class Sink:
+    """Records flushed versions."""
+
+    def __init__(self):
+        self.flushed = []
+
+    def __call__(self, line, oid, data, now):
+        self.flushed.append((line, oid, data))
+
+
+def make_buffer(size=512, ways=2):
+    sink = Sink()
+    return OMCBuffer(CacheGeometry(size, ways, 1), Stats(), sink), sink
+
+
+class TestCoalescing:
+    def test_same_epoch_rewrite_hits(self):
+        buffer, sink = make_buffer()
+        buffer.insert(5, oid=1, data=10, now=0)
+        buffer.insert(5, oid=1, data=11, now=0)
+        assert sink.flushed == []
+        assert buffer.stats.get("omc_buffer.hits") == 1
+        assert buffer.hit_rate() == 0.5
+
+    def test_new_epoch_flushes_old_version(self):
+        buffer, sink = make_buffer()
+        buffer.insert(5, oid=1, data=10, now=0)
+        buffer.insert(5, oid=2, data=20, now=0)
+        assert sink.flushed == [(5, 1, 10)]
+        assert buffer.occupancy() == 1
+
+    def test_capacity_eviction_flushes_victim(self):
+        buffer, sink = make_buffer(size=128, ways=1)  # 2 sets of 1 way
+        sets = buffer.array.geometry.num_sets
+        buffer.insert(0, 1, 10, 0)
+        buffer.insert(sets, 1, 20, 0)  # same set, evicts line 0
+        assert sink.flushed == [(0, 1, 10)]
+
+
+class TestFlushes:
+    def test_flush_epochs_through(self):
+        buffer, sink = make_buffer()
+        buffer.insert(1, oid=1, data=10, now=0)
+        buffer.insert(2, oid=2, data=20, now=0)
+        buffer.insert(3, oid=3, data=30, now=0)
+        flushed = buffer.flush_epochs_through(2, 0)
+        assert flushed == 2
+        assert sorted(sink.flushed) == [(1, 1, 10), (2, 2, 20)]
+        assert buffer.occupancy() == 1
+
+    def test_flush_all(self):
+        buffer, sink = make_buffer()
+        buffer.insert(1, 1, 10, 0)
+        buffer.insert(2, 1, 20, 0)
+        assert buffer.flush_all(0) == 2
+        assert buffer.occupancy() == 0
+        assert len(sink.flushed) == 2
+
+    def test_hit_rate_zero_when_empty(self):
+        buffer, _sink = make_buffer()
+        assert buffer.hit_rate() == 0.0

@@ -1,0 +1,139 @@
+"""Tests for the NVM overlay page pool and sub-page allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PagePool, PoolExhaustedError
+from repro.core.page_pool import SIZE_CLASSES
+from repro.sim import Stats
+
+
+def make_pool(pages=8):
+    return PagePool(pages, Stats())
+
+
+class TestAllocation:
+    def test_subpages_carved_from_one_page(self):
+        pool = make_pool()
+        first = pool.alloc_subpage(4)  # 256 B sub-pages, 16 per page
+        second = pool.alloc_subpage(4)
+        assert first.page_id == second.page_id
+        assert pool.pages_in_use() == 1
+
+    def test_full_page_class(self):
+        pool = make_pool()
+        a = pool.alloc_subpage(64)
+        b = pool.alloc_subpage(64)
+        assert a.page_id != b.page_id
+        assert pool.pages_in_use() == 2
+
+    def test_classes_use_separate_pages(self):
+        pool = make_pool()
+        small = pool.alloc_subpage(4)
+        big = pool.alloc_subpage(16)
+        assert small.page_id != big.page_id
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            make_pool().alloc_subpage(5)
+
+    def test_exhaustion_raises(self):
+        pool = make_pool(pages=1)
+        pool.alloc_subpage(64)
+        with pytest.raises(PoolExhaustedError):
+            pool.alloc_subpage(64)
+
+    def test_grow_adds_capacity(self):
+        pool = make_pool(pages=1)
+        pool.alloc_subpage(64)
+        pool.grow(2)
+        pool.alloc_subpage(64)
+        assert pool.pages_in_use() == 2
+        with pytest.raises(ValueError):
+            pool.grow(0)
+
+    def test_bitmap_tracks_allocation(self):
+        pool = make_pool(pages=4)
+        subpage = pool.alloc_subpage(64)
+        assert pool.bitmap[subpage.page_id] == 1
+        pool.free_subpage(subpage.id)
+        assert pool.bitmap[subpage.page_id] == 0
+
+
+class TestVersionSlots:
+    def test_write_and_read(self):
+        pool = make_pool()
+        subpage = pool.alloc_subpage(4)
+        slot = pool.write_version(subpage, line=77, oid=3, data=123)
+        assert pool.read_version(subpage.id, slot) == (77, 3, 123)
+
+    def test_capacity_enforced(self):
+        pool = make_pool()
+        subpage = pool.alloc_subpage(4)
+        for i in range(4):
+            pool.write_version(subpage, i, 1, i)
+        assert subpage.full()
+        with pytest.raises(ValueError):
+            pool.write_version(subpage, 5, 1, 5)
+
+    def test_utilization(self):
+        pool = make_pool()
+        subpage = pool.alloc_subpage(64)
+        assert pool.utilization() == 0.0
+        for i in range(64):
+            pool.write_version(subpage, i, 1, i)
+        assert pool.utilization() == 1.0
+
+
+class TestReclamation:
+    def test_page_freed_when_all_subpages_freed(self):
+        pool = make_pool()
+        subpages = [pool.alloc_subpage(4) for _ in range(3)]
+        assert pool.pages_in_use() == 1
+        for subpage in subpages[:-1]:
+            pool.free_subpage(subpage.id)
+        assert pool.pages_in_use() == 1  # one sub-page still live
+        pool.free_subpage(subpages[-1].id)
+        assert pool.pages_in_use() == 0
+
+    def test_freed_page_is_reusable(self):
+        pool = make_pool(pages=1)
+        subpage = pool.alloc_subpage(64)
+        pool.free_subpage(subpage.id)
+        pool.alloc_subpage(64)  # must not raise
+
+    def test_double_free_rejected(self):
+        pool = make_pool()
+        subpage = pool.alloc_subpage(64)
+        pool.free_subpage(subpage.id)
+        with pytest.raises(ValueError):
+            pool.free_subpage(subpage.id)
+
+    def test_free_clears_contents(self):
+        pool = make_pool()
+        subpage = pool.alloc_subpage(4)
+        slot = pool.write_version(subpage, 1, 1, 42)
+        pool.free_subpage(subpage.id)
+        with pytest.raises(KeyError):
+            pool.read_version(subpage.id, slot)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(SIZE_CLASSES), st.booleans()),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_alloc_free_never_leaks_pages(self, steps):
+        """After freeing every sub-page, all pages return to the pool."""
+        pool = PagePool(256, Stats())
+        live = []
+        for size_class, do_free in steps:
+            live.append(pool.alloc_subpage(size_class))
+            if do_free and live:
+                pool.free_subpage(live.pop(0).id)
+        for subpage in live:
+            pool.free_subpage(subpage.id)
+        assert pool.pages_in_use() == 0
+        assert pool.live_subpages() == 0

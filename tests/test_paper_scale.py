@@ -1,0 +1,29 @@
+"""Smoke test: the literal Table II configuration runs end-to-end.
+
+The full-size geometry is too slow for real workloads in pure Python,
+but it must stay functional — users who want fidelity over speed run it.
+"""
+
+from repro.core import NVOverlay, NVOverlayParams, SnapshotReader, golden_image
+from repro.sim import Machine, SystemConfig
+
+from tests.util import RandomWorkload
+
+
+def test_paper_scale_machine_runs_and_recovers():
+    config = SystemConfig.paper_scale().with_changes(epoch_size_stores=2000)
+    scheme = NVOverlay(NVOverlayParams(num_omcs=2))
+    machine = Machine(config, scheme=scheme, capture_store_log=True)
+    machine.run(RandomWorkload(num_threads=16, txns_per_thread=150, seed=4))
+    image = SnapshotReader(scheme.cluster).recover()
+    assert image.lines == golden_image(machine.hierarchy.store_log, image.epoch)
+    # Full-size caches: this little run never spills an L2.
+    assert machine.stats.get("l2.evictions") == 0
+
+
+def test_paper_scale_16_banks_and_latencies():
+    config = SystemConfig.paper_scale()
+    machine = Machine(config)
+    assert machine.nvm.num_banks == 16
+    assert machine.nvm.write_latency == 400
+    assert machine.dram.num_controllers == 4

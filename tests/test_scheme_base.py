@@ -1,0 +1,91 @@
+"""Tests for the SnapshotScheme interface and GlobalEpochScheme base."""
+
+from repro.baselines.base import GlobalEpochScheme
+from repro.sim import Machine, NoSnapshot, load, store
+from repro.sim.scheme import SnapshotScheme
+
+from tests.util import ScriptedWorkload, tiny_config
+
+
+class CountingScheme(GlobalEpochScheme):
+    """Test double recording commit calls."""
+
+    name = "counting"
+
+    def __init__(self):
+        super().__init__()
+        self.commits = []
+        self.store_calls = 0
+
+    def store_hook(self, core_id, line, now):
+        self.store_calls += 1
+        return 0
+
+    def commit_epoch(self, now):
+        self.commits.append((self.epoch, set(self.epoch_write_set)))
+        return 0
+
+
+class TestSnapshotSchemeDefaults:
+    def test_all_hooks_are_noops(self):
+        scheme = SnapshotScheme()
+        assert scheme.on_store(0, 0, 0, 0, 0) == 0
+        assert scheme.on_version_writeback(0, 0, 0, 0, "capacity", 0) == 0
+        assert scheme.on_l2_dirty_eviction(0, 0, 0, 0, "capacity", 0) == 0
+        assert scheme.on_llc_dirty_eviction(0, 0, 0, 0) == 0
+        assert scheme.on_epoch_advance(0, 0, 1, 0) == 0
+        assert scheme.on_transaction_boundary(0, 0) == 0
+        scheme.on_version_migrate(0, 1, 0, 1, 0)  # returns None, no raise
+        scheme.poll(0)
+        scheme.finalize(0)
+
+    def test_ideal_scheme_never_touches_nvm(self):
+        machine = Machine(tiny_config(), scheme=NoSnapshot())
+        machine.run(ScriptedWorkload([[[store(0x4000)], [load(0x4000)]] * 50]))
+        assert machine.nvm.bytes_written() == 0
+
+
+class TestGlobalEpochScheme:
+    def run_with(self, scheme, num_stores, epoch_size):
+        machine = Machine(tiny_config(epoch_size_stores=epoch_size), scheme=scheme)
+        ops = [[store(0x4000 + 64 * (i % 32))] for i in range(num_stores)]
+        machine.run(ScriptedWorkload([ops]))
+        return machine
+
+    def test_epoch_rolls_over_on_store_count(self):
+        scheme = CountingScheme()
+        self.run_with(scheme, num_stores=100, epoch_size=30)
+        # 100 stores at epoch 30: three mid-run commits + finalize.
+        assert len(scheme.commits) == 4
+        assert scheme.epoch == 5
+
+    def test_write_sets_cleared_per_epoch(self):
+        scheme = CountingScheme()
+        self.run_with(scheme, num_stores=60, epoch_size=30)
+        first_epoch_lines = scheme.commits[0][1]
+        assert len(first_epoch_lines) <= 30
+
+    def test_store_hook_called_per_store(self):
+        scheme = CountingScheme()
+        self.run_with(scheme, num_stores=75, epoch_size=1000)
+        assert scheme.store_calls == 75
+
+    def test_finalize_commits_partial_epoch(self):
+        scheme = CountingScheme()
+        self.run_with(scheme, num_stores=10, epoch_size=1000)
+        assert len(scheme.commits) == 1  # from finalize only
+
+    def test_finalize_without_writes_commits_nothing(self):
+        scheme = CountingScheme()
+        machine = Machine(tiny_config(), scheme=scheme)
+        machine.run(ScriptedWorkload([[[load(0x4000)]]]))
+        assert scheme.commits == []
+
+    def test_barrier_writes_serialize(self):
+        scheme = CountingScheme()
+        machine = Machine(tiny_config(), scheme=scheme)
+        machine.run(ScriptedWorkload([[[store(0x4000)]]]))
+        lines = list(range(8))
+        stall = scheme._barrier_writes(lines, 64, 0, "data")
+        # Eight serialized sync writes: at least 8x the write latency.
+        assert stall >= 8 * machine.nvm.write_latency

@@ -1,0 +1,76 @@
+"""Fast shape-regression guards: miniature Figs. 11/12 inside the suite.
+
+The benchmarks assert the paper's shapes at full scale; these re-check
+the load-bearing orderings at a fraction of the cost so that a protocol
+change that silently breaks a comparison fails `pytest tests/` too.
+"""
+
+import pytest
+
+from repro.harness import compare
+from repro.sim import SystemConfig
+
+CONFIG = SystemConfig(epoch_size_stores=4000)
+SCALE = 0.25
+
+_cache = {}
+
+
+def records_for(workload):
+    if workload not in _cache:
+        _cache[workload] = compare(workload, config=CONFIG, scale=SCALE)
+    return _cache[workload]
+
+
+class TestCycleShapes:
+    @pytest.mark.parametrize("workload", ["btree", "kmeans"])
+    def test_sw_logging_slowest_family(self, workload):
+        records = records_for(workload)
+        assert (
+            records["sw_logging"].extra["normalized_cycles"]
+            > records["picl"].extra["normalized_cycles"]
+        )
+        assert (
+            records["sw_logging"].extra["normalized_cycles"]
+            > records["nvoverlay"].extra["normalized_cycles"]
+        )
+
+    @pytest.mark.parametrize("workload", ["btree", "kmeans"])
+    def test_background_schemes_hide_overhead(self, workload):
+        records = records_for(workload)
+        for scheme in ("picl", "picl_l2", "nvoverlay"):
+            assert records[scheme].extra["normalized_cycles"] < 1.6, scheme
+
+    def test_hw_shadow_pays_sync_commit(self):
+        records = records_for("btree")
+        assert (
+            records["hw_shadow"].extra["normalized_cycles"]
+            > records["nvoverlay"].extra["normalized_cycles"]
+        )
+
+
+class TestWriteAmplificationShapes:
+    @pytest.mark.parametrize("workload", ["btree", "kmeans"])
+    def test_picl_l2_writes_most_of_the_hw_schemes(self, workload):
+        records = records_for(workload)
+        assert records["picl_l2"].extra["normalized_write_bytes"] > 1.3
+
+    @pytest.mark.parametrize("workload", ["btree", "kmeans"])
+    def test_hw_shadow_writes_least(self, workload):
+        records = records_for(workload)
+        assert records["hw_shadow"].extra["normalized_write_bytes"] < 1.0
+
+    def test_kmeans_favors_llc_domain_schemes(self):
+        """The §VII-B story: PiCL ≈ NVOverlay on kmeans, PiCL-L2 ~2x."""
+        records = records_for("kmeans")
+        picl = records["picl"].extra["normalized_write_bytes"]
+        picl_l2 = records["picl_l2"].extra["normalized_write_bytes"]
+        assert picl < 1.4
+        assert picl_l2 > picl * 1.3
+
+    def test_logging_beats_shadow_in_bytes_never(self):
+        records = records_for("btree")
+        assert (
+            records["sw_logging"].extra["normalized_write_bytes"]
+            > records["sw_shadow"].extra["normalized_write_bytes"]
+        )

@@ -1,0 +1,162 @@
+"""Tests for snapshot retrieval: recovery, time travel, replication."""
+
+import pytest
+
+from repro.core import (
+    NVOverlay,
+    NVOverlayParams,
+    SnapshotReader,
+    golden_image,
+    replay_delta,
+)
+from repro.sim import Machine, store
+
+from tests.util import RandomWorkload, ScriptedWorkload, tiny_config
+
+
+def run_nvo(workload, **config_overrides):
+    scheme = NVOverlay(NVOverlayParams(num_omcs=2, pool_pages=4096))
+    machine = Machine(
+        tiny_config(**config_overrides), scheme=scheme, capture_store_log=True
+    )
+    machine.run(workload)
+    return machine, scheme, SnapshotReader(scheme.cluster)
+
+
+class TestGoldenImage:
+    def test_last_write_at_or_before_epoch_wins(self):
+        log = [(1, 1, 100, 0), (1, 2, 200, 0), (2, 3, 300, 1)]
+        assert golden_image(log, 1) == {1: 100}
+        assert golden_image(log, 2) == {1: 200}
+        assert golden_image(log, 3) == {1: 200, 2: 300}
+
+    def test_empty_log(self):
+        assert golden_image([], 5) == {}
+
+
+class TestCrashRecovery:
+    def test_recovery_matches_golden_exactly(self):
+        machine, scheme, reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=400, seed=11)
+        )
+        image = reader.recover()
+        golden = golden_image(machine.hierarchy.store_log, image.epoch)
+        assert image.lines == golden
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovery_across_seeds(self, seed):
+        machine, scheme, reader = run_nvo(
+            RandomWorkload(
+                num_threads=4, txns_per_thread=250, shared_fraction=0.5, seed=seed
+            )
+        )
+        image = reader.recover()
+        golden = golden_image(machine.hierarchy.store_log, image.epoch)
+        assert image.lines == golden
+
+    def test_final_state_fully_recoverable_after_finalize(self):
+        """The orderly-shutdown path recovers the *complete* final image."""
+        machine, scheme, reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=200, seed=5)
+        )
+        image = reader.recover()
+        final_golden = {}
+        for line, _epoch, token, _vd in machine.hierarchy.store_log:
+            final_golden[line] = token
+        assert image.lines == final_golden
+
+    def test_data_at_by_address(self):
+        machine, scheme, reader = run_nvo(
+            ScriptedWorkload([[[store(0x4000)], [store(0x4008)]]])
+        )
+        image = reader.recover()
+        token = machine.hierarchy.store_log[-1][2]
+        assert image.data_at(0x4000) == token
+        assert image.data_at(0x9999999) is None
+
+    def test_recovered_contexts_at_or_before_rec_epoch(self):
+        machine, scheme, reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=300, seed=2),
+            epoch_size_stores=64,
+        )
+        image = reader.recover()
+        for vd, context_epoch in image.context_epochs.items():
+            if context_epoch is not None:
+                assert context_epoch <= image.epoch
+
+
+class TestTimeTravel:
+    def test_mid_run_epochs_reconstruct_exactly(self):
+        machine, scheme, reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=400, seed=7),
+            epoch_size_stores=128,
+        )
+        final = reader.recover().epoch
+        for epoch in {1, max(1, final // 3), max(1, final // 2), final}:
+            assert reader.image_at(epoch) == golden_image(
+                machine.hierarchy.store_log, epoch
+            ), f"mismatch at epoch {epoch}"
+
+    def test_fall_through_returns_older_version(self):
+        machine, scheme, reader = run_nvo(
+            ScriptedWorkload([[[store(0x4000)]]])
+        )
+        # Line written only in epoch 1; a read at a later epoch falls
+        # through to that version.
+        result = reader.read(0x4000, epoch=10**6)
+        assert result is not None
+        data, version_epoch = result
+        assert version_epoch == 1
+
+    def test_read_before_first_write_is_none(self):
+        machine, scheme, reader = run_nvo(
+            ScriptedWorkload([[[store(0x4000)]]])
+        )
+        assert reader.read(0x8000, epoch=5) is None
+
+
+class TestRecoveryCost:
+    def test_cost_proportional_to_working_set(self):
+        small_m, _s1, small_reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=50, footprint=1 << 10)
+        )
+        large_m, _s2, large_reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=400, footprint=1 << 15)
+        )
+        small_cost = small_reader.recovery_cost_cycles(small_m.nvm)
+        large_cost = large_reader.recovery_cost_cycles(large_m.nvm)
+        assert large_cost > small_cost
+        # Cost is linear in (data lines + metadata lines) streamed off NVM.
+        def expected(reader, machine):
+            data_lines = len(reader.recover())
+            metadata_lines = -(-reader.cluster.master_metadata_bytes() // 64)
+            return (data_lines + metadata_lines) * machine.nvm.read_latency
+
+        assert large_cost == pytest.approx(expected(large_reader, large_m), rel=0.3)
+        assert small_cost == pytest.approx(expected(small_reader, small_m), rel=0.3)
+
+    def test_cost_positive_when_anything_mapped(self):
+        machine, _scheme, reader = run_nvo(
+            ScriptedWorkload([[[store(0x4000)]]])
+        )
+        assert reader.recovery_cost_cycles(machine.nvm) > 0
+
+
+class TestReplication:
+    def test_export_and_replay_reaches_next_epoch(self):
+        machine, scheme, reader = run_nvo(
+            RandomWorkload(num_threads=4, txns_per_thread=300, seed=9),
+            epoch_size_stores=128,
+        )
+        final = reader.recover().epoch
+        mid = max(1, final // 2)
+        base = reader.image_at(mid)
+        delta = reader.export_epoch(mid + 1)
+        replayed = replay_delta(base, delta)
+        assert replayed == reader.image_at(mid + 1)
+
+    def test_export_of_empty_epoch(self):
+        machine, scheme, reader = run_nvo(
+            ScriptedWorkload([[[store(0x4000)]]])
+        )
+        assert reader.export_epoch(10**6) == []

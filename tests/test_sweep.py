@@ -1,0 +1,84 @@
+"""Tests for the scalability and ablation sweeps."""
+
+import pytest
+
+from repro.harness.sweep import (
+    omc_count_ablation,
+    protocol_ablation,
+    scalability_sweep,
+    vd_size_ablation,
+    walk_rate_ablation,
+)
+from repro.sim import SystemConfig
+
+SMALL = SystemConfig(num_cores=4, cores_per_vd=2, epoch_size_stores=400)
+
+
+class TestScalability:
+    def test_sweep_shape(self):
+        data = scalability_sweep(
+            core_counts=(2, 4), workload="uniform",
+            txns_per_core_scale=0.05, base_config=SMALL,
+        )
+        assert set(data) == {2, 4}
+        for row in data.values():
+            assert row["normalized_cycles"] > 0
+            assert row["nvm_bytes_per_store"] > 0
+
+    def test_rejects_indivisible_cores(self):
+        with pytest.raises(ValueError):
+            scalability_sweep(core_counts=(3,), base_config=SMALL)
+
+    def test_overhead_stays_bounded_with_scale(self):
+        data = scalability_sweep(
+            core_counts=(2, 8), workload="uniform",
+            txns_per_core_scale=0.1, base_config=SMALL,
+        )
+        # The scalability claim: overhead does not blow up with cores.
+        assert data[8]["normalized_cycles"] < data[2]["normalized_cycles"] * 1.6
+
+
+class TestVDSize:
+    def test_ablation_shape(self):
+        data = vd_size_ablation(
+            vd_sizes=(1, 2), workload="uniform", scale=0.05, base_config=SMALL
+        )
+        assert set(data) == {1, 2}
+        for row in data.values():
+            assert row["epoch_advances"] > 0
+
+    def test_rejects_indivisible_vd(self):
+        with pytest.raises(ValueError):
+            vd_size_ablation(vd_sizes=(3,), base_config=SMALL)
+
+
+class TestOMCCount:
+    def test_metadata_grows_with_omc_count(self):
+        data = omc_count_ablation(
+            omc_counts=(1, 4), workload="uniform", scale=0.1, base_config=SMALL
+        )
+        # Duplicated upper radix levels: more OMCs, more metadata bytes.
+        assert data[4]["metadata_bytes"] >= data[1]["metadata_bytes"]
+
+
+class TestProtocolAblation:
+    def test_moesi_reduces_coherence_writebacks(self):
+        data = protocol_ablation(
+            workload="uniform", scale=0.2, base_config=SMALL
+        )
+        assert set(data) == {"mesi", "moesi"}
+        assert (
+            data["moesi"]["coherence_writebacks"]
+            <= data["mesi"]["coherence_writebacks"]
+        )
+
+
+class TestWalkRate:
+    def test_slower_walker_lags_more(self):
+        data = walk_rate_ablation(
+            rates=(2, 512), workload="uniform", scale=0.3, base_config=SMALL
+        )
+        assert (
+            data[2]["snapshot_lag_epochs"] >= data[512]["snapshot_lag_epochs"]
+        )
+        assert data[512]["tag_walk_writebacks"] >= data[2]["tag_walk_writebacks"]

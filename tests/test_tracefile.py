@@ -1,0 +1,88 @@
+"""Tests for trace capture, file format, and replay."""
+
+import pytest
+
+from repro.sim import Machine, load, store
+from repro.workloads import (
+    TraceFormatError,
+    TraceWorkload,
+    capture_trace,
+    load_trace,
+    make_workload,
+    save_trace,
+)
+
+from tests.util import RandomWorkload, ScriptedWorkload, tiny_config
+
+
+class TestFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(path, [(0, [load(0x100), store(0x140, 16)]), (1, [store(0x200)])])
+        parsed = load_trace(path)
+        assert parsed[0] == [[load(0x100), store(0x140, 16)]]
+        assert parsed[1] == [[store(0x200)]]
+
+    def test_transaction_boundaries_preserved(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(path, [(0, [load(0x100)]), (0, [load(0x200)])])
+        parsed = load_trace(path)
+        assert len(parsed[0]) == 2
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\n0 ld 0x40 8\n0 ---\n")
+        parsed = load_trace(path)
+        assert parsed[0] == [[load(0x40)]]
+
+    def test_trailing_unterminated_transaction_kept(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0 st 0x40 8\n")
+        parsed = load_trace(path)
+        assert parsed[0] == [[store(0x40)]]
+
+    def test_bad_lines_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0 mov 0x40 8\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+        path.write_text("zero ld 0x40 8\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_empty_trace_rejected_by_workload(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# nothing\n")
+        with pytest.raises(TraceFormatError):
+            TraceWorkload(path)
+
+
+class TestCaptureReplay:
+    def test_capture_preserves_ops(self):
+        workload = ScriptedWorkload([[[load(0x100)], [store(0x140)]]])
+        captured = capture_trace(workload)
+        assert captured == [(0, [load(0x100)]), (0, [store(0x140)])]
+
+    def test_replay_runs_identically_across_schemes(self, tmp_path):
+        """A saved trace drives two schemes with the same op stream."""
+        path = tmp_path / "w.trace"
+        save_trace(path, capture_trace(
+            RandomWorkload(num_threads=4, txns_per_thread=80, seed=3)
+        ))
+        stores = set()
+        for _ in range(2):
+            machine = Machine(tiny_config())
+            result = machine.run(TraceWorkload(path))
+            stores.add(result.stores)
+        assert len(stores) == 1  # identical replay
+
+    def test_registered_workload_is_capturable(self, tmp_path):
+        workload = make_workload("uniform", num_threads=2, scale=0.02)
+        path = tmp_path / "u.trace"
+        count = save_trace(path, capture_trace(workload))
+        assert count > 0
+        replay = TraceWorkload(path)
+        assert replay.num_threads == 2
+        machine = Machine(tiny_config())
+        result = machine.run(replay)
+        assert result.stores > 0

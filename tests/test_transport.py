@@ -1,0 +1,62 @@
+"""Tests for the snoop coherence transport mode."""
+
+import pytest
+
+from repro.core import NVOverlay, NVOverlayParams, SnapshotReader, golden_image
+from repro.harness.sweep import transport_ablation
+from repro.sim import Machine, SystemConfig
+
+from tests.util import RandomWorkload, final_image_matches_stores, tiny_config
+
+
+def snoop_config(**overrides):
+    return tiny_config(coherence_transport="snoop", **overrides)
+
+
+class TestSnoopMode:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(coherence_transport="token-ring")
+
+    def test_coherence_correct_under_both_transports(self):
+        """Transport changes timing (and hence interleaving), never
+        coherence correctness: every final line value is its last store."""
+        for transport in ("directory", "snoop"):
+            machine = Machine(
+                tiny_config(coherence_transport=transport),
+                capture_store_log=True,
+            )
+            machine.run(RandomWorkload(
+                num_threads=4, txns_per_thread=250, shared_fraction=0.5, seed=6
+            ))
+            mismatches, total = final_image_matches_stores(machine)
+            assert mismatches == 0 and total > 0, transport
+
+    def test_broadcasts_counted(self):
+        machine = Machine(snoop_config())
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=100))
+        assert machine.stats.get("net.snoop_broadcasts") > 0
+        assert machine.stats.get("net.vd_llc_msgs") == 0  # no directory trips
+
+    def test_nvoverlay_recovery_under_snoop(self):
+        scheme = NVOverlay(NVOverlayParams(num_omcs=1))
+        machine = Machine(
+            snoop_config(epoch_size_stores=64), scheme=scheme,
+            capture_store_log=True,
+        )
+        machine.run(RandomWorkload(
+            num_threads=4, txns_per_thread=250, shared_fraction=0.5, seed=3
+        ))
+        image = SnapshotReader(scheme.cluster).recover()
+        assert image.lines == golden_image(machine.hierarchy.store_log, image.epoch)
+
+    def test_snoop_cost_grows_with_machine(self):
+        data = transport_ablation(
+            core_counts=(2, 8),
+            scale=0.1,
+            base_config=SystemConfig(num_cores=4, cores_per_vd=2,
+                                     epoch_size_stores=400),
+        )
+        snoop_growth = data["snoop"][8] / data["snoop"][2]
+        dir_growth = data["directory"][8] / data["directory"][2]
+        assert snoop_growth > dir_growth

@@ -1,0 +1,85 @@
+"""Tests for the structural invariant checkers."""
+
+import pytest
+
+from repro.sim import MESI, Machine
+from repro.sim.validate import (
+    InvariantViolation,
+    check_directory_agreement,
+    check_inclusion,
+    check_single_writer,
+    check_version_order,
+    validate_hierarchy,
+)
+
+from tests.util import RandomWorkload, tiny_config
+
+
+def healthy_machine():
+    machine = Machine(tiny_config())
+    machine.run(RandomWorkload(num_threads=4, txns_per_thread=150, seed=9))
+    return machine
+
+
+class TestHealthyHierarchy:
+    def test_all_checks_pass_after_real_run(self):
+        machine = healthy_machine()
+        validate_hierarchy(machine.hierarchy)
+
+    def test_versioned_checks_pass(self):
+        from repro.core import NVOverlay
+
+        machine = Machine(tiny_config(epoch_size_stores=100), scheme=NVOverlay())
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=150, seed=9))
+        validate_hierarchy(machine.hierarchy)
+
+
+def _plant(array, line, state, oid=0, data=0):
+    """Force a line into a (possibly full) cache array for fault injection."""
+    while array.needs_victim(line):
+        array.remove(array.choose_victim(line).line)
+    return array.insert(line, state, oid, data)
+
+
+class TestDetection:
+    def test_inclusion_violation_detected(self):
+        machine = healthy_machine()
+        hierarchy = machine.hierarchy
+        # Plant an L1 line with no L2 backing.
+        _plant(hierarchy.l1s[0], 0xDEAD00, MESI.S)
+        with pytest.raises(InvariantViolation, match="inclusion"):
+            check_inclusion(hierarchy)
+
+    def test_single_writer_violation_detected(self):
+        machine = healthy_machine()
+        hierarchy = machine.hierarchy
+        line = 0xBEEF00
+        _plant(hierarchy.vds[0].l2, line, MESI.M, data=1)
+        _plant(hierarchy.vds[1].l2, line, MESI.S, data=1)
+        with pytest.raises(InvariantViolation, match="single-writer"):
+            check_single_writer(hierarchy)
+
+    def test_version_order_violation_detected(self):
+        from repro.core import NVOverlay
+
+        machine = Machine(tiny_config(), scheme=NVOverlay())
+        machine.run(RandomWorkload(num_threads=4, txns_per_thread=50, seed=2))
+        hierarchy = machine.hierarchy
+        vd = hierarchy.vds[0]
+        line = 0xCAFE00
+        _plant(vd.l2, line, MESI.M, oid=9, data=1)  # dirty L2 version @9
+        _plant(hierarchy.l1s[vd.core_ids[0]], line, MESI.S, oid=3, data=1)
+        with pytest.raises(InvariantViolation, match="version order"):
+            check_version_order(hierarchy)
+
+    def test_directory_violation_detected(self):
+        machine = healthy_machine()
+        hierarchy = machine.hierarchy
+        _plant(hierarchy.vds[0].l2, 0xF00D00, MESI.E)  # no directory entry
+        with pytest.raises(InvariantViolation, match="directory"):
+            check_directory_agreement(hierarchy)
+
+    def test_unversioned_skips_version_order(self):
+        machine = healthy_machine()
+        # Version-order checking is meaningless without CST; no raise.
+        check_version_order(machine.hierarchy)
