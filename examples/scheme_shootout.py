@@ -11,7 +11,7 @@ Run:  python examples/scheme_shootout.py [workload] [scale]
 
 import sys
 
-from repro import compare
+from repro import RunSpec, compare
 from repro.harness import report
 from repro.workloads import workload_names
 
@@ -24,7 +24,7 @@ def main() -> None:
                          + ", ".join(workload_names()))
 
     print(f"comparing schemes on {workload!r} (scale {scale}) ...")
-    records = compare(workload, scale=scale)
+    records = compare(RunSpec(workload=workload, scheme="ideal", scale=scale))
 
     rows = {}
     for name, record in records.items():

@@ -39,7 +39,7 @@ from .core import (
     SnapshotReader,
     golden_image,
 )
-from .harness import compare, run_one
+from .harness import RunSpec, compare, run_one
 from .sim import Machine, RunResult, SystemConfig
 from .workloads import PAPER_WORKLOADS, make_workload, workload_names
 
@@ -57,6 +57,7 @@ __all__ = [
     "PiCLL2",
     "RecoveredImage",
     "RunResult",
+    "RunSpec",
     "SWShadowPaging",
     "SWUndoLogging",
     "SnapshotReader",

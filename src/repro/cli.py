@@ -7,12 +7,20 @@ Commands:
 * ``experiment`` — regenerate one paper artifact (table1, fig11..fig17)
 * ``workloads``  — list registered workload names
 * ``trace``      — capture a workload's op stream to a trace file
+* ``cache``      — inspect (``info``) or empty (``clear``) the result cache
+
+Simulating commands accept ``--jobs N`` (fan the experiment grid over a
+process pool) and ``--no-cache`` (bypass the on-disk result cache under
+``$REPRO_CACHE_DIR`` / ``~/.cache/repro``).  Per-cell progress streams
+to stderr; rendered tables go to stdout.
 
 Examples::
 
     python -m repro run --workload btree --scheme nvoverlay --scale 0.3
-    python -m repro compare --workload kmeans
-    python -m repro experiment fig13
+    python -m repro compare --workload kmeans --jobs 4
+    python -m repro experiment fig11 --jobs 2 --scale 0.05
+    python -m repro experiment fig13 --no-cache
+    python -m repro cache info
     python -m repro trace --workload art --scale 0.1 --out art.trace
 """
 
@@ -23,25 +31,47 @@ import sys
 from typing import List, Optional
 
 from .harness import experiments, report
+from .harness.cache import RunCache
 from .harness.runner import SCHEMES, compare, run_one
+from .harness.spec import RunSpec
 from .workloads import capture_trace, make_workload, save_trace, workload_names
 
 EXPERIMENTS = {
-    "table1": lambda args: _render_table1(),
-    "fig11": lambda args: _render_fig(
-        experiments.fig11_normalized_cycles(scale=args.scale),
+    "table1": lambda args, opts: _render_table1(),
+    "fig11": lambda args, opts: _render_fig(
+        experiments.fig11_normalized_cycles(
+            workloads=opts.pop("workloads", None), scale=args.scale, **opts
+        ),
         "Fig. 11: normalized cycles",
     ),
-    "fig12": lambda args: _render_fig(
-        experiments.fig12_write_amplification(scale=args.scale),
+    "fig12": lambda args, opts: _render_fig(
+        experiments.fig12_write_amplification(
+            workloads=opts.pop("workloads", None), scale=args.scale, **opts
+        ),
         "Fig. 12: write bytes normalized to NVOverlay",
     ),
-    "fig13": lambda args: _render_fig13(args),
-    "fig14": lambda args: _render_fig14(args),
-    "fig15": lambda args: _render_fig15(args),
-    "fig16": lambda args: _render_fig16(args),
-    "fig17": lambda args: _render_fig17(args),
+    "fig13": lambda args, opts: _render_fig13(args, opts),
+    "fig14": lambda args, opts: _render_fig14(args, opts),
+    "fig15": lambda args, opts: _render_fig15(args, opts),
+    "fig16": lambda args, opts: _render_fig16(args, opts),
+    "fig17": lambda args, opts: _render_fig17(args, opts),
 }
+
+
+def _experiment_options(args) -> dict:
+    """The jobs/cache/progress kwargs every experiment function takes."""
+    opts = {
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "progress": _print_progress,
+    }
+    if getattr(args, "workloads", None):
+        opts["workloads"] = args.workloads.split(",")
+    return opts
+
+
+def _print_progress(cell) -> None:
+    print(report.progress_line(cell), file=sys.stderr)
 
 
 def _render_table1() -> str:
@@ -55,14 +85,17 @@ def _render_fig(data, title: str) -> str:
     return report.format_table(title, schemes, data)
 
 
-def _render_fig13(args) -> str:
-    data = experiments.fig13_metadata_cost(scale=args.scale)
+def _render_fig13(args, opts) -> str:
+    data = experiments.fig13_metadata_cost(
+        workloads=opts.pop("workloads", None), scale=args.scale, **opts
+    )
     rows = {w: {"pct_of_ws": pct} for w, pct in data.items()}
     return report.format_table("Fig. 13: Mmaster size", ["pct_of_ws"], rows)
 
 
-def _render_fig14(args) -> str:
-    data = experiments.fig14_epoch_sensitivity(scale=args.scale)
+def _render_fig14(args, opts) -> str:
+    opts.pop("workloads", None)
+    data = experiments.fig14_epoch_sensitivity(scale=args.scale, **opts)
     rows = {
         f"epoch={size}": {
             f"{scheme}.{metric.split('_')[-1]}": value
@@ -75,8 +108,9 @@ def _render_fig14(args) -> str:
     return report.format_table("Fig. 14: epoch-size sensitivity (ART)", columns, rows)
 
 
-def _render_fig15(args) -> str:
-    data = experiments.fig15_evict_reasons(scale=args.scale)
+def _render_fig15(args, opts) -> str:
+    opts.pop("workloads", None)
+    data = experiments.fig15_evict_reasons(scale=args.scale, **opts)
     parts = []
     for variant, rows in data.items():
         parts.append(
@@ -89,20 +123,26 @@ def _render_fig15(args) -> str:
     return "\n\n".join(parts)
 
 
-def _render_fig16(args) -> str:
-    data = experiments.fig16_omc_buffer(scale=args.scale)
+def _render_fig16(args, opts) -> str:
+    opts.pop("workloads", None)
+    data = experiments.fig16_omc_buffer(scale=args.scale, **opts)
     columns = sorted({key for row in data.values() for key in row})
     return report.format_table("Fig. 16: OMC buffer", columns, data)
 
 
-def _render_fig17(args) -> str:
-    series = experiments.fig17_bandwidth(scale=args.scale, bursty=args.bursty)
+def _render_fig17(args, opts) -> str:
+    opts.pop("workloads", None)
+    series = experiments.fig17_bandwidth(scale=args.scale, bursty=args.bursty,
+                                         **opts)
     title = "Fig. 17{}: NVM write bandwidth".format("b" if args.bursty else "a")
     return report.format_series(title, series)
 
 
 def _cmd_run(args) -> int:
-    record = run_one(args.workload, args.scheme, scale=args.scale, seed=args.seed)
+    spec = RunSpec(workload=args.workload, scheme=args.scheme,
+                   scale=args.scale, seed=args.seed)
+    cache = None if args.no_cache else RunCache()
+    record = run_one(spec, cache=cache)
     print(f"workload:      {record.workload}")
     print(f"scheme:        {record.scheme}")
     print(f"cycles:        {record.cycles:,}")
@@ -118,7 +158,9 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    records = compare(args.workload, scale=args.scale, seed=args.seed)
+    template = RunSpec(workload=args.workload, scheme="ideal",
+                       scale=args.scale, seed=args.seed)
+    records = compare(template, jobs=args.jobs, cache=not args.no_cache)
     rows = {
         name: {
             "norm_cycles": rec.extra["normalized_cycles"],
@@ -137,7 +179,7 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    print(EXPERIMENTS[args.name](args))
+    print(EXPERIMENTS[args.name](args, _experiment_options(args)))
     return 0
 
 
@@ -152,6 +194,20 @@ def _cmd_trace(args) -> int:
                              scale=args.scale, seed=args.seed)
     count = save_trace(args.out, capture_trace(workload))
     print(f"wrote {count} ops to {args.out}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = RunCache()
+    if args.action == "info":
+        info = cache.info()
+        print(f"directory:      {info['directory']}")
+        print(f"entries:        {info['entries']}")
+        print(f"bytes:          {info['bytes']:,}")
+        print(f"schema version: {info['schema_version']}")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cached record(s) from {cache.directory}")
     return 0
 
 
@@ -171,12 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--scheme", default="nvoverlay",
                            choices=sorted(SCHEMES))
 
+    def parallel_opts(p, with_jobs=True):
+        if with_jobs:
+            p.add_argument("--jobs", type=int, default=None,
+                           help="worker processes (default: serial)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+
     p_run = sub.add_parser("run", help="run one workload under one scheme")
     common(p_run, with_scheme=True)
+    parallel_opts(p_run, with_jobs=False)
     p_run.set_defaults(func=_cmd_run)
 
     p_compare = sub.add_parser("compare", help="run every scheme on a workload")
     common(p_compare)
+    parallel_opts(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -184,6 +249,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--scale", type=float, default=0.5)
     p_exp.add_argument("--bursty", action="store_true",
                        help="fig17: bursty debugging epochs")
+    p_exp.add_argument("--workloads", default=None,
+                       help="comma-separated workload subset (fig11/12/13)")
+    parallel_opts(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_list = sub.add_parser("workloads", help="list workload names")
@@ -194,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--threads", type=int, default=16)
     p_trace.add_argument("--out", required=True)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 

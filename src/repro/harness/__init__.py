@@ -1,23 +1,46 @@
-"""Experiment harness: runner, per-figure experiments, sweeps, reports."""
+"""Experiment harness: specs, runner, cache, pool, experiments, reports.
+
+The import surface downstream code should use:
+
+* :class:`RunSpec` — one (workload x scheme x config) cell, as a value;
+* :func:`run_one` / :func:`compare` — run cells, with optional caching;
+* :class:`ParallelRunner` — fan a spec grid over a process pool;
+* :class:`RunCache` — the content-addressed on-disk result store;
+* ``experiments`` / ``sweep`` / ``report`` — per-figure drivers.
+"""
 
 from . import experiments, report, sweep
+from .cache import RunCache, default_cache_dir
+from .parallel import CellProgress, ParallelRunner, RunSummary
 from .runner import (
     COMPARED_SCHEMES,
     SCHEMES,
     RunRecord,
     compare,
     make_scheme,
+    normalize_records,
     run_one,
+    simulate,
 )
+from .spec import CACHE_SCHEMA_VERSION, RunSpec
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "COMPARED_SCHEMES",
+    "CellProgress",
+    "ParallelRunner",
+    "RunCache",
     "RunRecord",
+    "RunSpec",
+    "RunSummary",
     "SCHEMES",
     "compare",
+    "default_cache_dir",
     "experiments",
     "make_scheme",
+    "normalize_records",
     "report",
     "run_one",
+    "simulate",
     "sweep",
 ]

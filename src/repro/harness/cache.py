@@ -1,0 +1,114 @@
+"""Content-addressed on-disk cache of experiment results.
+
+One JSON file per simulated cell, named by ``RunSpec.cache_key()`` (a
+sha256 over the canonical spec dict plus ``CACHE_SCHEMA_VERSION``), so
+any change to the workload, scheme, configuration, scale, seed,
+NVOverlay parameters or capture flags lands in a different entry and a
+schema bump invalidates everything at once.  Records cross the disk as
+``RunRecord.to_dict()`` payloads — no pickled simulator state, ever.
+
+The directory defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+Writes are atomic (temp file + ``os.replace``) so concurrent pool
+workers and concurrent harness invocations never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .runner import RunRecord
+from .spec import CACHE_SCHEMA_VERSION, RunSpec
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class RunCache:
+    """Spec-keyed result store with hit/miss accounting."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.cache_key()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunRecord]:
+        """The cached record for ``spec``, or None (counted as a miss)."""
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            record = RunRecord.from_dict(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, torn or stale-format entries all read as misses.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec: RunSpec, record: RunRecord) -> Path:
+        """Store ``record`` under ``spec``'s key (atomic replace)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "record": record.to_dict(),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> list:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def info(self) -> Dict[str, Any]:
+        """Directory, entry count and total bytes (for ``repro cache info``)."""
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache(cache: Union[None, bool, RunCache]) -> Optional[RunCache]:
+    """Map the harness-wide ``cache`` convention onto an instance.
+
+    ``None`` -> the default on-disk cache, ``False`` -> caching off,
+    a ``RunCache`` -> itself.  (``True`` is accepted as an alias for
+    ``None`` so call sites can be explicit.)
+    """
+    if cache is None or cache is True:
+        return RunCache()
+    if cache is False:
+        return None
+    return cache

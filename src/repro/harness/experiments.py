@@ -6,20 +6,48 @@ render.  The benchmarks under ``benchmarks/`` are thin wrappers around
 these, so users can also call them directly:
 
     from repro.harness import experiments
-    data = experiments.fig11_normalized_cycles(scale=0.5)
+    data = experiments.fig11_normalized_cycles(scale=0.5, jobs=4)
+
+Every function that simulates builds its full ``RunSpec`` grid up front
+and pushes it through one :class:`repro.harness.parallel.ParallelRunner`
+call, so ``jobs=N`` fans the whole figure out at once and the on-disk
+result cache (on by default; ``cache=False`` disables, ``$REPRO_CACHE_DIR``
+relocates) answers unchanged cells without simulating.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core import NVOverlayParams
 from ..sim import SystemConfig
 from ..sim.config import BurstyEpochPolicy
 from ..workloads import PAPER_WORKLOADS
-from .runner import COMPARED_SCHEMES, SCHEMES, RunRecord, compare, run_one
+from .cache import RunCache
+from .parallel import ParallelRunner, ProgressCallback
+from .runner import (
+    COMPARED_SCHEMES,
+    SCHEMES,
+    RunRecord,
+    comparison_specs,
+    normalize_records,
+)
+from .spec import RunSpec
 
 DEFAULT_SCALE = 1.0
+
+#: The ``cache`` convention shared by every experiment/sweep entry
+#: point: ``True``/``None`` -> the default on-disk cache, ``False`` ->
+#: off, a ``RunCache`` -> use that instance.
+CacheOption = Union[None, bool, RunCache]
+
+
+def _runner(
+    jobs: Optional[int],
+    cache: CacheOption,
+    progress: Optional[ProgressCallback],
+) -> ParallelRunner:
+    return ParallelRunner(jobs=jobs or 1, cache=cache, progress=progress)
 
 
 def table1_qualitative() -> Dict[str, Dict[str, object]]:
@@ -41,23 +69,57 @@ def table1_qualitative() -> Dict[str, Dict[str, object]]:
     return rows
 
 
+def _comparison_grid(
+    workloads: Sequence[str],
+    schemes: Optional[Sequence[str]],
+    config: Optional[SystemConfig],
+    scale: float,
+    runner: ParallelRunner,
+) -> Dict[str, Dict[str, RunRecord]]:
+    """Every (workload, scheme) cell of Figs. 11/12 in one pool pass."""
+    grids: List[List[RunSpec]] = []
+    flat: List[RunSpec] = []
+    for workload in workloads:
+        template = RunSpec(workload=workload, scheme="ideal", config=config,
+                           scale=scale)
+        specs = comparison_specs(template, schemes)
+        grids.append(specs)
+        flat.extend(specs)
+    records = runner.run(flat)
+    result: Dict[str, Dict[str, RunRecord]] = {}
+    offset = 0
+    for workload, specs in zip(workloads, grids):
+        chunk = records[offset:offset + len(specs)]
+        offset += len(specs)
+        result[workload] = normalize_records(
+            {spec.scheme: record for spec, record in zip(specs, chunk)}
+        )
+    return result
+
+
 def fig11_normalized_cycles(
     workloads: Optional[Sequence[str]] = None,
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
     schemes: Optional[Sequence[str]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 11: wall-clock cycles normalized to no-snapshot execution."""
-    result: Dict[str, Dict[str, float]] = {}
-    for workload in workloads or PAPER_WORKLOADS:
-        records = compare(workload, list(schemes) if schemes else None,
-                          config=config, scale=scale)
-        result[workload] = {
+    runner = _runner(jobs, cache, progress)
+    grid = _comparison_grid(
+        list(workloads or PAPER_WORKLOADS), schemes, config, scale, runner
+    )
+    return {
+        workload: {
             name: rec.extra["normalized_cycles"]
             for name, rec in records.items()
             if name != "ideal"
         }
-    return result
+        for workload, records in grid.items()
+    }
 
 
 def fig12_write_amplification(
@@ -65,33 +127,48 @@ def fig12_write_amplification(
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
     schemes: Optional[Sequence[str]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 12: NVM bytes written, normalized to NVOverlay."""
-    result: Dict[str, Dict[str, float]] = {}
-    for workload in workloads or PAPER_WORKLOADS:
-        records = compare(workload, list(schemes) if schemes else None,
-                          config=config, scale=scale)
-        result[workload] = {
+    runner = _runner(jobs, cache, progress)
+    grid = _comparison_grid(
+        list(workloads or PAPER_WORKLOADS), schemes, config, scale, runner
+    )
+    return {
+        workload: {
             name: rec.extra.get("normalized_write_bytes", 0.0)
             for name, rec in records.items()
             if name != "ideal"
         }
-    return result
+        for workload, records in grid.items()
+    }
 
 
 def fig13_metadata_cost(
     workloads: Optional[Sequence[str]] = None,
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, float]:
     """Fig. 13: Master Table size as a percentage of the write working set.
 
     The theoretical lower bound is 12.5% (an 8-byte leaf entry per 64-byte
     line); low page occupancy (yada) pushes the ratio up.
     """
+    names = list(workloads or PAPER_WORKLOADS)
+    specs = [
+        RunSpec(workload=w, scheme="nvoverlay", config=config, scale=scale)
+        for w in names
+    ]
+    records = _runner(jobs, cache, progress).run(specs)
     result: Dict[str, float] = {}
-    for workload in workloads or PAPER_WORKLOADS:
-        record = run_one(workload, "nvoverlay", config=config, scale=scale)
+    for workload, record in zip(names, records):
         metadata = record.extra["master_metadata_bytes"]
         working_set = max(record.extra["mapped_working_set_bytes"], 1)
         result[workload] = 100.0 * metadata / working_set
@@ -103,6 +180,10 @@ def fig14_epoch_sensitivity(
     workload: str = "art",
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, Dict[str, Dict[str, float]]]:
     """Fig. 14: cycles and writes vs epoch size (PiCL/PiCL-L2/NVOverlay).
 
@@ -110,11 +191,23 @@ def fig14_epoch_sensitivity(
     same 8x sweep around our scaled default epoch.
     """
     base_config = config or SystemConfig()
-    result: Dict[int, Dict[str, Dict[str, float]]] = {}
+    grids: List[List[RunSpec]] = []
+    flat: List[RunSpec] = []
     for epoch_size in epoch_sizes:
         cfg = base_config.with_changes(epoch_size_stores=epoch_size)
-        records = compare(
-            workload, ["picl", "picl_l2", "nvoverlay"], config=cfg, scale=scale
+        template = RunSpec(workload=workload, scheme="ideal", config=cfg,
+                           scale=scale)
+        specs = comparison_specs(template, ["picl", "picl_l2", "nvoverlay"])
+        grids.append(specs)
+        flat.extend(specs)
+    records = _runner(jobs, cache, progress).run(flat)
+    result: Dict[int, Dict[str, Dict[str, float]]] = {}
+    offset = 0
+    for epoch_size, specs in zip(epoch_sizes, grids):
+        chunk = records[offset:offset + len(specs)]
+        offset += len(specs)
+        by_scheme = normalize_records(
+            {spec.scheme: record for spec, record in zip(specs, chunk)}
         )
         result[epoch_size] = {
             name: {
@@ -122,7 +215,7 @@ def fig14_epoch_sensitivity(
                 "normalized_write_bytes": rec.extra.get("normalized_write_bytes", 0.0),
                 "nvm_bytes": float(rec.total_nvm_bytes),
             }
-            for name, rec in records.items()
+            for name, rec in by_scheme.items()
             if name != "ideal"
         }
     return result
@@ -132,67 +225,95 @@ def fig15_evict_reasons(
     workload: str = "art",
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 15: evict-reason decomposition, with and without tag walker.
 
     Reasons are grouped the way the paper's legend does: capacity miss,
-    coherence/log, tag walk.
+    coherence/log, tag walk.  PiCL without its ACS cannot commit epochs
+    at all; the paper's Fig. 15b keeps the bars for comparison by running
+    the same configuration (the walk IS the commit path), so the
+    ``without_walker`` variant reuses the PiCL records unchanged.
     """
-    result: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for variant, walker in (("with_walker", True), ("without_walker", False)):
-        rows: Dict[str, Dict[str, float]] = {}
-        for scheme in ("picl", "picl_l2", "nvoverlay"):
-            params = NVOverlayParams(enable_tag_walker=walker)
-            record = run_one(
-                workload, scheme, config=config, scale=scale,
-                nvo_params=params if scheme == "nvoverlay" else None,
-            )
-            if not walker and scheme in ("picl", "picl_l2"):
-                # PiCL without its ACS cannot commit epochs at all; the
-                # paper's Fig. 15b keeps the bars for comparison by
-                # running the same configuration (the walk IS the commit
-                # path), so we keep its numbers unchanged here.
-                record = run_one(workload, scheme, config=config, scale=scale)
-            reasons = record.evict_reasons
-            capacity = reasons.get("capacity", 0)
-            coherence = (
-                reasons.get("coherence", 0)
-                + reasons.get("store_evict", 0)
-                + reasons.get("log", 0)
-                + reasons.get("other", 0)
-            )
-            walk = reasons.get("tag_walk", 0)
-            total = max(capacity + coherence + walk, 1)
-            rows[scheme] = {
-                "capacity": 100.0 * capacity / total,
-                "coherence_log": 100.0 * coherence / total,
-                "tag_walk": 100.0 * walk / total,
-            }
-        result[variant] = rows
-    return result
+    base = RunSpec(workload=workload, scheme="picl", config=config, scale=scale)
+    specs = {
+        "picl": base,
+        "picl_l2": base.with_changes(scheme="picl_l2"),
+        "nvo_walker": base.with_changes(scheme="nvoverlay"),
+        "nvo_no_walker": base.with_changes(
+            scheme="nvoverlay",
+            nvo_params=NVOverlayParams(enable_tag_walker=False),
+        ),
+    }
+    keys = list(specs)
+    records = dict(zip(keys, _runner(jobs, cache, progress).run(
+        [specs[key] for key in keys]
+    )))
+
+    def decompose(record: RunRecord) -> Dict[str, float]:
+        reasons = record.evict_reasons
+        capacity = reasons.get("capacity", 0)
+        coherence = (
+            reasons.get("coherence", 0)
+            + reasons.get("store_evict", 0)
+            + reasons.get("log", 0)
+            + reasons.get("other", 0)
+        )
+        walk = reasons.get("tag_walk", 0)
+        total = max(capacity + coherence + walk, 1)
+        return {
+            "capacity": 100.0 * capacity / total,
+            "coherence_log": 100.0 * coherence / total,
+            "tag_walk": 100.0 * walk / total,
+        }
+
+    return {
+        "with_walker": {
+            "picl": decompose(records["picl"]),
+            "picl_l2": decompose(records["picl_l2"]),
+            "nvoverlay": decompose(records["nvo_walker"]),
+        },
+        "without_walker": {
+            "picl": decompose(records["picl"]),
+            "picl_l2": decompose(records["picl_l2"]),
+            "nvoverlay": decompose(records["nvo_no_walker"]),
+        },
+    }
 
 
 def fig16_omc_buffer(
     workload: str = "art",
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 16: the battery-backed OMC buffer's effect on an all-one-epoch
     stress run (cycles and NVM data writes, plus buffer hit rate)."""
     base_config = config or SystemConfig()
     # One epoch for the entire run stresses redundant write-back absorption.
     cfg = base_config.with_changes(epoch_size_stores=1 << 60)
-    ideal = run_one(workload, "ideal", config=cfg, scale=scale)
+    base = RunSpec(workload=workload, scheme="ideal", config=cfg, scale=scale)
+    specs = [
+        base,
+        base.with_changes(scheme="nvoverlay",
+                          nvo_params=NVOverlayParams(use_omc_buffer=False)),
+        base.with_changes(scheme="nvoverlay",
+                          nvo_params=NVOverlayParams(use_omc_buffer=True)),
+    ]
+    ideal, no_buffer, with_buffer = _runner(jobs, cache, progress).run(specs)
     result: Dict[str, Dict[str, float]] = {}
-    for label, use_buffer in (("no_buffer", False), ("with_buffer", True)):
-        params = NVOverlayParams(use_omc_buffer=use_buffer)
-        record = run_one(workload, "nvoverlay", config=cfg, scale=scale,
-                         nvo_params=params)
+    for label, record in (("no_buffer", no_buffer), ("with_buffer", with_buffer)):
         row = {
             "normalized_cycles": record.cycles / max(ideal.cycles, 1),
             "nvm_data_writes": record.extra["nvm_data_writes"],
         }
-        if use_buffer:
+        if label == "with_buffer":
             writes = max(record.extra.get("omc_buffer_writes", 0), 1)
             row["buffer_hit_rate"] = record.extra.get("omc_buffer_hits", 0) / writes
         result[label] = row
@@ -205,34 +326,35 @@ def tail_latency(
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
     seed: int = 1,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, int]]:
     """Per-operation latency percentiles per scheme (extension study).
 
     Not a paper figure, but the paper's §II-A argument made measurable:
     persistence barriers do not just slow execution on average — they
     stretch the operation latency *tail*, while background schemes keep
-    the distribution close to the ideal machine's.
+    the distribution close to the ideal machine's.  Runs with
+    ``capture_latency`` specs, so the percentiles ride the same cache
+    and pool as every other figure.
     """
-    from ..sim import Machine
-    from ..workloads import make_workload
-    from .runner import make_scheme
-
-    result: Dict[str, Dict[str, int]] = {}
-    for name in schemes:
-        machine = Machine(
-            config or SystemConfig(), scheme=make_scheme(name),
-            capture_latency=True,
-        )
-        machine.run(make_workload(
-            workload, num_threads=machine.config.num_cores, scale=scale, seed=seed
-        ))
-        result[name] = {
-            "p50": machine.stats.percentile("op_latency", 0.50),
-            "p99": machine.stats.percentile("op_latency", 0.99),
-            "p999": machine.stats.percentile("op_latency", 0.999),
-            "max_bucket": machine.stats.histogram("op_latency")[-1][0],
+    specs = [
+        RunSpec(workload=workload, scheme=name, config=config, scale=scale,
+                seed=seed, capture_latency=True)
+        for name in schemes
+    ]
+    records = _runner(jobs, cache, progress).run(specs)
+    return {
+        name: {
+            "p50": int(record.extra["op_latency_p50"]),
+            "p99": int(record.extra["op_latency_p99"]),
+            "p999": int(record.extra["op_latency_p999"]),
+            "max_bucket": int(record.extra["op_latency_max_bucket"]),
         }
-    return result
+        for name, record in zip(schemes, records)
+    }
 
 
 def fig17_bandwidth(
@@ -240,6 +362,10 @@ def fig17_bandwidth(
     config: Optional[SystemConfig] = None,
     scale: float = DEFAULT_SCALE,
     bursty: bool = False,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, List[Tuple[int, int]]]:
     """Fig. 17: NVM write bandwidth over time, PiCL vs NVOverlay.
 
@@ -264,8 +390,13 @@ def fig17_bandwidth(
             ),
         )
         cfg = base_config.with_changes(epoch_policy=policy)
-    series: Dict[str, List[Tuple[int, int]]] = {}
-    for scheme in ("picl", "nvoverlay"):
-        record = run_one(workload, scheme, config=cfg, scale=scale)
-        series[scheme] = record.bandwidth_series
-    return series
+    schemes = ("picl", "nvoverlay")
+    specs = [
+        RunSpec(workload=workload, scheme=scheme, config=cfg, scale=scale)
+        for scheme in schemes
+    ]
+    records = _runner(jobs, cache, progress).run(specs)
+    return {
+        scheme: record.bandwidth_series
+        for scheme, record in zip(schemes, records)
+    }

@@ -74,6 +74,43 @@ def to_csv(columns: Sequence[str], rows: Dict[str, Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def progress_line(cell) -> str:
+    """One ``CellProgress`` as a terminal line.
+
+    E.g. ``[ 3/14] btree/nvoverlay       0.42s`` (or ``cached`` in place
+    of the wall-clock for cells answered by the result cache).
+    """
+    width = len(str(cell.total))
+    timing = "cached" if cell.cached else f"{cell.seconds:.2f}s"
+    return (
+        f"[{cell.done:>{width}}/{cell.total}] "
+        f"{cell.label:<24s} {timing:>8s}"
+    )
+
+
+def format_run_summary(summary, title: str = "Run summary") -> str:
+    """Render a ``ParallelRunner`` ``RunSummary``: totals + per-cell wall.
+
+    Shows cells done/total, cache hits vs simulations executed, the
+    grid's wall-clock and the slowest cells — the at-a-glance answer to
+    "where did the time go?".
+    """
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"cells: {len(summary.cells)}/{summary.total}  "
+        f"executed: {summary.executed}  cache hits: {summary.cache_hits}  "
+        f"jobs: {summary.jobs}  wall: {summary.elapsed_seconds:.2f}s"
+    )
+    executed = [c for c in summary.cells if not c.cached]
+    if executed:
+        mean = sum(c.seconds for c in executed) / len(executed)
+        lines.append(f"per-cell wall: mean {mean:.2f}s over {len(executed)} simulated")
+        slowest = sorted(executed, key=lambda c: c.seconds, reverse=True)[:5]
+        for cell in slowest:
+            lines.append(f"  {cell.label:<24s} {cell.seconds:>8.2f}s")
+    return "\n".join(lines)
+
+
 def summarize_reduction(ratios: Dict[str, Dict[str, float]], versus: str) -> str:
     """The paper's headline: write-amplification reduction vs a scheme.
 

@@ -1,16 +1,20 @@
-"""Experiment runner: (workload x scheme x config) -> structured record.
+"""Experiment runner: ``RunSpec`` -> structured ``RunRecord``.
 
-``run_one`` builds a fresh machine + scheme + workload, runs it to
-completion and distils the statistics every figure consumes: wall-clock
-cycles, NVM bytes by category, evict-reason decomposition, metadata
-sizes, bandwidth series.  ``compare`` sweeps schemes over one workload,
+``simulate`` builds a fresh machine + scheme + workload for one
+``RunSpec``, runs it to completion and distils the statistics every
+figure consumes: wall-clock cycles, NVM bytes by category, evict-reason
+decomposition, metadata sizes, bandwidth series.  ``run_one`` wraps it
+with optional result caching and a deprecation shim for the old
+six-kwarg call form; ``compare`` sweeps schemes over one workload
+(optionally in parallel, via :class:`repro.harness.parallel.ParallelRunner`),
 normalizing cycles to the ideal (no-snapshot) run the way Fig. 11 does.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..baselines import (
     HWShadowPaging,
@@ -24,6 +28,7 @@ from ..core import NVOverlay, NVOverlayParams
 from ..sim import Machine, SystemConfig
 from ..sim.scheme import SnapshotScheme
 from ..workloads import make_workload
+from .spec import RunSpec
 
 #: Scheme registry, in the paper's figure order.
 SCHEMES: Dict[str, Callable[[], SnapshotScheme]] = {
@@ -65,6 +70,34 @@ class RunRecord:
     def total_nvm_bytes(self) -> int:
         return self.nvm_bytes.get("total", 0)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; round-trips through :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "stores": self.stores,
+            "transactions": self.transactions,
+            "nvm_bytes": dict(self.nvm_bytes),
+            "evict_reasons": dict(self.evict_reasons),
+            "bandwidth_series": [list(point) for point in self.bandwidth_series],
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            cycles=data["cycles"],
+            stores=data["stores"],
+            transactions=data["transactions"],
+            nvm_bytes=dict(data["nvm_bytes"]),
+            evict_reasons=dict(data["evict_reasons"]),
+            bandwidth_series=[tuple(point) for point in data["bandwidth_series"]],
+            extra=dict(data["extra"]),
+        )
+
 
 def make_scheme(name: str, nvo_params: Optional[NVOverlayParams] = None) -> SnapshotScheme:
     if name not in SCHEMES:
@@ -75,19 +108,20 @@ def make_scheme(name: str, nvo_params: Optional[NVOverlayParams] = None) -> Snap
     return SCHEMES[name]()
 
 
-def run_one(
-    workload_name: str,
-    scheme_name: str,
-    config: Optional[SystemConfig] = None,
-    scale: float = 1.0,
-    seed: int = 1,
-    nvo_params: Optional[NVOverlayParams] = None,
-) -> RunRecord:
-    """Run one (workload, scheme) pair and collect its record."""
-    config = config or SystemConfig()
-    scheme = make_scheme(scheme_name, nvo_params)
-    machine = Machine(config, scheme=scheme)
-    workload = make_workload(workload_name, num_threads=config.num_cores, scale=scale, seed=seed)
+def simulate(spec: RunSpec) -> RunRecord:
+    """Run one cell, unconditionally (no cache).  Pure in ``spec``."""
+    config = spec.resolved_config
+    scheme = make_scheme(spec.scheme, spec.nvo_params)
+    machine = Machine(
+        config,
+        scheme=scheme,
+        capture_store_log=spec.capture_store_log,
+        capture_latency=spec.capture_latency,
+    )
+    workload = make_workload(
+        spec.workload, num_threads=config.num_cores, scale=spec.scale,
+        seed=spec.seed,
+    )
     result = machine.run(workload)
 
     stats = machine.stats
@@ -100,8 +134,8 @@ def run_one(
         for key, value in stats.counters("evict_reason").items()
     }
     record = RunRecord(
-        workload=workload_name,
-        scheme=scheme_name,
+        workload=spec.workload,
+        scheme=spec.scheme,
         cycles=result.cycles,
         stores=result.stores,
         transactions=result.transactions,
@@ -122,32 +156,82 @@ def run_one(
     record.extra["nvm_data_writes"] = stats.get("nvm.writes.data")
     record.extra["epoch_advances"] = stats.get("epoch.advances")
     record.extra["coherence_syncs"] = stats.get("epoch.coherence_syncs")
+    if spec.capture_latency:
+        record.extra["op_latency_p50"] = stats.percentile("op_latency", 0.50)
+        record.extra["op_latency_p99"] = stats.percentile("op_latency", 0.99)
+        record.extra["op_latency_p999"] = stats.percentile("op_latency", 0.999)
+        record.extra["op_latency_max_bucket"] = stats.histogram("op_latency")[-1][0]
+    if spec.capture_store_log:
+        record.extra["store_log_ops"] = len(machine.hierarchy.store_log)
     return record
 
 
-def compare(
+def _legacy_spec(
     workload_name: str,
-    scheme_names: Optional[List[str]] = None,
+    scheme_name: Optional[str],
+    config: Optional[SystemConfig],
+    scale: float,
+    seed: int,
+    nvo_params: Optional[NVOverlayParams],
+    caller: str,
+) -> RunSpec:
+    if scheme_name is None and caller == "run_one":
+        raise TypeError("run_one(workload, scheme, ...) needs a scheme name")
+    warnings.warn(
+        f"{caller}({workload_name!r}, ...) with loose kwargs is deprecated; "
+        f"pass a RunSpec instead: {caller}(RunSpec(workload=..., ...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunSpec(
+        workload=workload_name,
+        scheme=scheme_name or "ideal",
+        config=config,
+        scale=scale,
+        seed=seed,
+        nvo_params=nvo_params,
+    )
+
+
+def run_one(
+    spec: Union[RunSpec, str],
+    scheme_name: Optional[str] = None,
     config: Optional[SystemConfig] = None,
     scale: float = 1.0,
     seed: int = 1,
     nvo_params: Optional[NVOverlayParams] = None,
-) -> Dict[str, RunRecord]:
-    """Run several schemes (plus the ideal baseline) on one workload.
+    *,
+    cache=None,
+) -> RunRecord:
+    """Run one cell, consulting ``cache`` (a ``RunCache``) when given.
 
-    Every record's ``extra["normalized_cycles"]`` is cycles relative to
-    the ideal run, and ``extra["normalized_write_bytes"]`` is NVM bytes
-    relative to NVOverlay when NVOverlay is among the schemes — the two
-    normalizations of Figs. 11 and 12.
+    The canonical form is ``run_one(RunSpec(...))``; the legacy
+    ``run_one(workload, scheme, config=..., ...)`` form still works but
+    emits a ``DeprecationWarning``.
     """
-    scheme_names = list(scheme_names or COMPARED_SCHEMES)
-    names = ["ideal"] + [n for n in scheme_names if n != "ideal"]
-    records: Dict[str, RunRecord] = {}
-    for name in names:
-        records[name] = run_one(
-            workload_name, name, config=config, scale=scale, seed=seed,
-            nvo_params=nvo_params,
-        )
+    if isinstance(spec, RunSpec):
+        if scheme_name is not None:
+            raise TypeError("run_one(spec) does not take a scheme name")
+    else:
+        spec = _legacy_spec(spec, scheme_name, config, scale, seed, nvo_params,
+                            caller="run_one")
+    if cache is not None:
+        cached = cache.get(spec)
+        if cached is not None:
+            return cached
+    record = simulate(spec)
+    if cache is not None:
+        cache.put(spec, record)
+    return record
+
+
+def normalize_records(records: Dict[str, RunRecord]) -> Dict[str, RunRecord]:
+    """Apply the Fig. 11/12 normalizations to one workload's records.
+
+    ``extra["normalized_cycles"]`` is cycles relative to the ``ideal``
+    run; ``extra["normalized_write_bytes"]`` is NVM bytes relative to
+    NVOverlay when NVOverlay is among the schemes.
+    """
     base = max(records["ideal"].cycles, 1)
     nvo_bytes = records.get("nvoverlay")
     for record in records.values():
@@ -157,3 +241,46 @@ def compare(
                 record.total_nvm_bytes / nvo_bytes.total_nvm_bytes
             )
     return records
+
+
+def comparison_specs(
+    template: RunSpec, scheme_names: Optional[Sequence[str]] = None
+) -> List[RunSpec]:
+    """The ``ideal``-first spec list ``compare`` runs for one workload."""
+    scheme_names = list(scheme_names or COMPARED_SCHEMES)
+    names = ["ideal"] + [n for n in scheme_names if n != "ideal"]
+    return [template.with_changes(scheme=name) for name in names]
+
+
+def compare(
+    workload: Union[RunSpec, str],
+    scheme_names: Optional[List[str]] = None,
+    config: Optional[SystemConfig] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+    nvo_params: Optional[NVOverlayParams] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache=False,
+    runner=None,
+) -> Dict[str, RunRecord]:
+    """Run several schemes (plus the ideal baseline) on one workload.
+
+    ``workload`` is a :class:`RunSpec` template (its ``scheme`` field is
+    ignored — every compared scheme is substituted in); the legacy
+    workload-name + kwargs form still works behind a
+    ``DeprecationWarning``.  ``jobs``/``cache`` (or a pre-built
+    ``runner``) fan the schemes out over a process pool and/or the
+    on-disk result cache; the default stays serial and uncached.
+    """
+    if isinstance(workload, RunSpec):
+        template = workload
+    else:
+        template = _legacy_spec(workload, "ideal", config, scale, seed,
+                                nvo_params, caller="compare")
+    specs = comparison_specs(template, scheme_names)
+    from .parallel import ParallelRunner  # local import: avoids a cycle
+
+    active = runner or ParallelRunner(jobs=jobs or 1, cache=cache)
+    records = dict(zip((s.scheme for s in specs), active.run(specs)))
+    return normalize_records(records)

@@ -15,18 +15,25 @@ execution.  These sweeps make it quantitative on the simulator:
 * ``walk_rate_ablation`` — tag-walker scan rate vs. snapshot lag
   (rec-epoch distance behind execution) and write traffic.
 
-Each returns plain dicts the report module can render; the ablation
-benches under ``benchmarks/`` wrap them.
+Each builds its ``RunSpec`` grid up front and runs it through one
+:class:`repro.harness.parallel.ParallelRunner` pass, so ``jobs=N``
+parallelizes the sweep and the on-disk cache skips unchanged points
+(``walk_rate_ablation`` is the one exception: it probes live simulator
+state mid-run, which cannot cross a process boundary or be cached, so
+it always executes in-process).  Each returns plain dicts the report
+module can render; the ablation benches under ``benchmarks/`` wrap them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core import NVOverlay, NVOverlayParams
 from ..sim import Machine, SystemConfig
 from ..workloads import make_workload
-from .runner import run_one
+from .experiments import CacheOption, _runner
+from .parallel import ProgressCallback
+from .spec import RunSpec
 
 
 def scalability_sweep(
@@ -34,10 +41,14 @@ def scalability_sweep(
     workload: str = "uniform",
     txns_per_core_scale: float = 0.5,
     base_config: Optional[SystemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, Dict[str, float]]:
     """NVOverlay overhead vs machine size, per-core work held constant."""
     base = base_config or SystemConfig()
-    result: Dict[int, Dict[str, float]] = {}
+    specs: List[RunSpec] = []
     for cores in core_counts:
         if cores % base.cores_per_vd:
             raise ValueError(f"{cores} cores do not divide into VDs")
@@ -47,8 +58,13 @@ def scalability_sweep(
             # Epoch size scales with the machine so per-VD epochs match.
             epoch_size_stores=base.epoch_size_stores * cores // 16,
         )
-        ideal = run_one(workload, "ideal", config=config, scale=txns_per_core_scale)
-        nvo = run_one(workload, "nvoverlay", config=config, scale=txns_per_core_scale)
+        for scheme in ("ideal", "nvoverlay"):
+            specs.append(RunSpec(workload=workload, scheme=scheme,
+                                 config=config, scale=txns_per_core_scale))
+    records = _runner(jobs, cache, progress).run(specs)
+    result: Dict[int, Dict[str, float]] = {}
+    for index, cores in enumerate(core_counts):
+        ideal, nvo = records[2 * index], records[2 * index + 1]
         result[cores] = {
             "normalized_cycles": nvo.cycles / max(ideal.cycles, 1),
             "nvm_bytes_per_store": nvo.total_nvm_bytes / max(nvo.stores, 1),
@@ -62,16 +78,25 @@ def vd_size_ablation(
     workload: str = "btree",
     scale: float = 0.5,
     base_config: Optional[SystemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Effect of Versioned Domain width (cores sharing one L2/epoch)."""
     base = base_config or SystemConfig()
-    result: Dict[int, Dict[str, float]] = {}
+    specs: List[RunSpec] = []
     for cores_per_vd in vd_sizes:
         if base.num_cores % cores_per_vd:
             raise ValueError(f"VD size {cores_per_vd} does not divide cores")
         config = base.with_changes(cores_per_vd=cores_per_vd)
-        ideal = run_one(workload, "ideal", config=config, scale=scale)
-        nvo = run_one(workload, "nvoverlay", config=config, scale=scale)
+        for scheme in ("ideal", "nvoverlay"):
+            specs.append(RunSpec(workload=workload, scheme=scheme,
+                                 config=config, scale=scale))
+    records = _runner(jobs, cache, progress).run(specs)
+    result: Dict[int, Dict[str, float]] = {}
+    for index, cores_per_vd in enumerate(vd_sizes):
+        ideal, nvo = records[2 * index], records[2 * index + 1]
         result[cores_per_vd] = {
             "normalized_cycles": nvo.cycles / max(ideal.cycles, 1),
             "nvm_bytes_per_store": nvo.total_nvm_bytes / max(nvo.stores, 1),
@@ -86,14 +111,20 @@ def omc_count_ablation(
     workload: str = "art",
     scale: float = 0.5,
     base_config: Optional[SystemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Effect of the number of address-partitioned OMCs."""
+    specs = [
+        RunSpec(workload=workload, scheme="nvoverlay", config=base_config,
+                scale=scale, nvo_params=NVOverlayParams(num_omcs=num_omcs))
+        for num_omcs in omc_counts
+    ]
+    records = _runner(jobs, cache, progress).run(specs)
     result: Dict[int, Dict[str, float]] = {}
-    for num_omcs in omc_counts:
-        record = run_one(
-            workload, "nvoverlay", config=base_config, scale=scale,
-            nvo_params=NVOverlayParams(num_omcs=num_omcs),
-        )
+    for num_omcs, record in zip(omc_counts, records):
         result[num_omcs] = {
             "cycles": float(record.cycles),
             "metadata_bytes": record.extra["master_metadata_bytes"],
@@ -108,6 +139,10 @@ def protocol_ablation(
     workload: str = "btree",
     scale: float = 0.5,
     base_config: Optional[SystemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, float]]:
     """MESI vs MOESI under CST (§IV-E protocol compatibility).
 
@@ -116,11 +151,17 @@ def protocol_ablation(
     longer (slower recoverability between walker passes).
     """
     base = base_config or SystemConfig()
-    result: Dict[str, Dict[str, float]] = {}
-    for protocol in ("mesi", "moesi"):
+    protocols = ("mesi", "moesi")
+    specs: List[RunSpec] = []
+    for protocol in protocols:
         config = base.with_changes(coherence_protocol=protocol)
-        ideal = run_one(workload, "ideal", config=config, scale=scale)
-        nvo = run_one(workload, "nvoverlay", config=config, scale=scale)
+        for scheme in ("ideal", "nvoverlay"):
+            specs.append(RunSpec(workload=workload, scheme=scheme,
+                                 config=config, scale=scale))
+    records = _runner(jobs, cache, progress).run(specs)
+    result: Dict[str, Dict[str, float]] = {}
+    for index, protocol in enumerate(protocols):
+        ideal, nvo = records[2 * index], records[2 * index + 1]
         result[protocol] = {
             "normalized_cycles": nvo.cycles / max(ideal.cycles, 1),
             "nvm_data_bytes": float(nvo.nvm_bytes.get("data", 0)),
@@ -137,6 +178,10 @@ def transport_ablation(
     workload: str = "uniform",
     scale: float = 0.3,
     base_config: Optional[SystemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Directory vs snoop transport as the machine grows (§II-D).
 
@@ -146,17 +191,24 @@ def transport_ablation(
     not scale.  Returns {transport: {cores: cycles}}.
     """
     base = base_config or SystemConfig()
-    result: Dict[str, Dict[int, float]] = {"directory": {}, "snoop": {}}
-    for transport in result:
+    transports = ("directory", "snoop")
+    specs: List[RunSpec] = []
+    for transport in transports:
         for cores in core_counts:
             config = base.with_changes(
                 num_cores=cores,
                 llc_slices=max(2, cores // 4),
                 coherence_transport=transport,
             )
-            record = run_one("uniform" if workload == "uniform" else workload,
-                             "nvoverlay", config=config, scale=scale)
-            result[transport][cores] = float(record.cycles)
+            specs.append(RunSpec(workload=workload, scheme="nvoverlay",
+                                 config=config, scale=scale))
+    records = _runner(jobs, cache, progress).run(specs)
+    result: Dict[str, Dict[int, float]] = {t: {} for t in transports}
+    index = 0
+    for transport in transports:
+        for cores in core_counts:
+            result[transport][cores] = float(records[index].cycles)
+            index += 1
     return result
 
 
@@ -170,7 +222,9 @@ def walk_rate_ablation(
 
     Snapshot lag = final epoch minus the largest rec-epoch observed
     *during* the run (before the finalize flush), i.e. how far behind
-    execution recoverability trails — the §IV-C trade-off.
+    execution recoverability trails — the §IV-C trade-off.  The probe
+    reads live scheme state mid-run, so this sweep stays in-process and
+    uncached by design.
     """
     base = base_config or SystemConfig()
     result: Dict[int, Dict[str, float]] = {}

@@ -1,0 +1,305 @@
+"""Tests for the RunSpec API, the on-disk result cache and the pool.
+
+Covers the contract the harness layer now rests on: parallel runs are
+bit-identical to serial runs, the cache hits/misses/invalidates on
+exactly the spec fields, specs and records survive a JSON round trip,
+and the legacy six-kwarg call forms still work behind a
+``DeprecationWarning``.
+"""
+
+import json
+
+import pytest
+
+from repro.core import NVOverlayParams
+from repro.harness import (
+    ParallelRunner,
+    RunCache,
+    RunRecord,
+    RunSpec,
+    compare,
+    experiments,
+    run_one,
+    simulate,
+)
+from repro.sim import SystemConfig
+from repro.sim.config import BurstyEpochPolicy
+
+SMALL = SystemConfig(num_cores=4, cores_per_vd=2, epoch_size_stores=500)
+TINY_SCALE = 0.05
+
+
+def small_spec(**kwargs) -> RunSpec:
+    defaults = dict(workload="uniform", scheme="picl", config=SMALL,
+                    scale=TINY_SCALE)
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+class TestRunSpec:
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            small_spec().workload = "btree"
+
+    def test_default_config_key_equals_explicit_default(self):
+        implicit = RunSpec(workload="uniform", scheme="picl")
+        explicit = RunSpec(workload="uniform", scheme="picl",
+                           config=SystemConfig())
+        assert implicit.cache_key() == explicit.cache_key()
+
+    def test_config_change_changes_key(self):
+        base = small_spec()
+        changed = small_spec(config=SMALL.with_changes(epoch_size_stores=501))
+        assert base.cache_key() != changed.cache_key()
+
+    @pytest.mark.parametrize("field, value", [
+        ("workload", "btree"),
+        ("scheme", "nvoverlay"),
+        ("scale", 0.06),
+        ("seed", 2),
+        ("capture_latency", True),
+        ("capture_store_log", True),
+    ])
+    def test_every_field_feeds_the_key(self, field, value):
+        assert small_spec().cache_key() != small_spec(**{field: value}).cache_key()
+
+    def test_irrelevant_nvo_params_canonicalized_away(self):
+        # nvo_params on a non-NVOverlay scheme must not split cache entries,
+        # and explicitly-default params equal no params.
+        assert small_spec().cache_key() == small_spec(
+            nvo_params=NVOverlayParams(num_omcs=4)).cache_key()
+        nvo = small_spec(scheme="nvoverlay")
+        assert nvo.cache_key() == small_spec(
+            scheme="nvoverlay", nvo_params=NVOverlayParams()).cache_key()
+        assert nvo.cache_key() != small_spec(
+            scheme="nvoverlay", nvo_params=NVOverlayParams(num_omcs=4)).cache_key()
+
+    def test_json_round_trip(self):
+        spec = small_spec(
+            scheme="nvoverlay",
+            nvo_params=NVOverlayParams(num_omcs=4, use_omc_buffer=True),
+            config=SMALL.with_changes(epoch_policy=BurstyEpochPolicy(
+                base_size=500, bursts=((10, 20, 5),)
+            )),
+        )
+        rebuilt = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.cache_key() == spec.cache_key()
+        assert rebuilt.config == spec.config
+        assert rebuilt.nvo_params == spec.nvo_params
+
+    def test_label(self):
+        assert small_spec().label == "uniform/picl"
+
+
+class TestRunRecord:
+    def test_json_round_trip(self):
+        record = simulate(small_spec())
+        rebuilt = RunRecord.from_dict(json.loads(json.dumps(record.to_dict())))
+        assert rebuilt == record
+        # bandwidth points must come back as tuples, not lists
+        assert all(isinstance(p, tuple) for p in rebuilt.bandwidth_series)
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = small_spec()
+        first = run_one(spec, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = run_one(spec, cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first == second
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_one(small_spec(), cache=cache)
+        run_one(small_spec(config=SMALL.with_changes(epoch_size_stores=501)),
+                cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+        assert len(cache.entries()) == 2
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = small_spec()
+        path = cache.put(spec, simulate(spec))
+        path.write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_clear_and_info(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_one(small_spec(), cache=cache)
+        info = cache.info()
+        assert info["entries"] == 1 and info["bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_env_var_picks_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = RunCache()
+        assert str(cache.directory) == str(tmp_path / "envcache")
+
+
+class TestParallelRunner:
+    GRID = [
+        RunSpec(workload=w, scheme=s, config=SMALL, scale=TINY_SCALE)
+        for w in ("uniform", "btree")
+        for s in ("ideal", "picl", "nvoverlay")
+    ]
+
+    def test_parallel_equals_serial(self):
+        serial = ParallelRunner(jobs=1).run(self.GRID)
+        parallel = ParallelRunner(jobs=4).run(self.GRID)
+        assert serial == parallel
+
+    def test_order_preserved(self):
+        records = ParallelRunner(jobs=2).run(self.GRID)
+        assert [(r.workload, r.scheme) for r in records] == [
+            (s.workload, s.scheme) for s in self.GRID
+        ]
+
+    def test_pool_populates_cache_for_serial_rerun(self, tmp_path):
+        cache = RunCache(tmp_path)
+        parallel = ParallelRunner(jobs=2, cache=cache).run(self.GRID)
+        rerun = ParallelRunner(jobs=1, cache=cache).run(self.GRID)
+        assert parallel == rerun
+        assert cache.hits == len(self.GRID)
+
+    def test_summary_and_progress(self, tmp_path):
+        cache = RunCache(tmp_path)
+        seen = []
+        runner = ParallelRunner(jobs=1, cache=cache, progress=seen.append)
+        runner.run(self.GRID[:2])
+        summary = runner.last_summary
+        assert summary.total == 2 and summary.executed == 2
+        assert summary.cache_hits == 0 and not summary.all_cached
+        assert [c.done for c in seen] == [1, 2]
+        runner.run(self.GRID[:2])
+        assert runner.last_summary.all_cached
+
+    def test_summary_renders(self, tmp_path):
+        from repro.harness import report
+
+        runner = ParallelRunner(jobs=1, cache=RunCache(tmp_path))
+        runner.run(self.GRID[:2])
+        text = report.format_run_summary(runner.last_summary)
+        assert "executed: 2" in text and "cache hits: 0" in text
+        line = report.progress_line(runner.last_summary.cells[0])
+        assert "uniform/ideal" in line and line.startswith("[1/2]")
+
+
+class TestDeprecationShim:
+    def test_run_one_legacy_warns_and_matches(self):
+        spec = small_spec()
+        with pytest.warns(DeprecationWarning):
+            legacy = run_one("uniform", "picl", config=SMALL, scale=TINY_SCALE)
+        assert legacy == run_one(spec)
+
+    def test_run_one_legacy_requires_scheme(self):
+        with pytest.raises(TypeError):
+            run_one("uniform")
+
+    def test_run_one_spec_rejects_extra_scheme(self):
+        with pytest.raises(TypeError):
+            run_one(small_spec(), "picl")
+
+    def test_compare_legacy_warns(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = compare("uniform", ["picl"], config=SMALL, scale=TINY_SCALE)
+        native = compare(
+            RunSpec(workload="uniform", scheme="ideal", config=SMALL,
+                    scale=TINY_SCALE),
+            ["picl"],
+        )
+        assert legacy == native
+
+    def test_compare_native_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            compare(small_spec(scheme="ideal"), ["picl"])
+
+
+class TestCaptureFlags:
+    def test_capture_latency_adds_percentiles(self):
+        record = simulate(small_spec(capture_latency=True))
+        assert record.extra["op_latency_p999"] >= record.extra["op_latency_p99"]
+        assert record.extra["op_latency_p99"] >= record.extra["op_latency_p50"] > 0
+        plain = simulate(small_spec())
+        assert "op_latency_p50" not in plain.extra
+        # Latency capture must not perturb the simulation itself.
+        assert record.cycles == plain.cycles
+        assert record.nvm_bytes == plain.nvm_bytes
+
+    def test_capture_store_log_counts_ops(self):
+        record = simulate(small_spec(capture_store_log=True))
+        assert record.extra["store_log_ops"] > 0
+
+    def test_cached_capture_and_plain_records_stay_apart(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_one(small_spec(), cache=cache)
+        captured = run_one(small_spec(capture_latency=True), cache=cache)
+        assert cache.hits == 0  # flags are part of the key
+        assert "op_latency_p50" in captured.extra
+
+
+class TestExperimentsIntegration:
+    def test_fig11_parallel_identical_and_fully_cached(self, tmp_path):
+        kwargs = dict(workloads=["uniform"], config=SMALL, scale=TINY_SCALE,
+                      schemes=["picl", "nvoverlay"])
+        serial = experiments.fig11_normalized_cycles(jobs=1, cache=False, **kwargs)
+        cache = RunCache(tmp_path)
+        parallel = experiments.fig11_normalized_cycles(jobs=2, cache=cache, **kwargs)
+        assert parallel == serial
+        rerun_cache = RunCache(tmp_path)
+        rerun = experiments.fig11_normalized_cycles(jobs=2, cache=rerun_cache, **kwargs)
+        assert rerun == serial
+        assert rerun_cache.misses == 0  # zero simulations executed
+        assert rerun_cache.hits == 3  # ideal + picl + nvoverlay
+
+    def test_tail_latency_via_specs(self, tmp_path):
+        data = experiments.tail_latency(
+            workload="uniform", schemes=("ideal", "picl"), config=SMALL,
+            scale=TINY_SCALE, cache=RunCache(tmp_path),
+        )
+        for row in data.values():
+            assert row["p999"] >= row["p99"] >= row["p50"] > 0
+
+
+class TestCLIIntegration:
+    def test_experiment_fig11_jobs_and_cache(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["experiment", "fig11", "--jobs", "2", "--scale", "0.05",
+                "--workloads", "uniform"]
+        assert main(argv) == 0
+        out, err = capsys.readouterr()
+        assert "Fig. 11" in out and "nvoverlay" in out
+        assert "uniform/nvoverlay" in err  # per-cell progress on stderr
+        # Second invocation is answered entirely from the cache.
+        assert main(argv) == 0
+        _, err = capsys.readouterr()
+        assert err.count("cached") == 7  # ideal + six compared schemes
+
+    def test_cache_info_and_clear(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "--workload", "uniform", "--scheme", "picl",
+                     "--scale", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "entries:        1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_no_cache_flag_bypasses(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "--workload", "uniform", "--scheme", "picl",
+                     "--scale", "0.02", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "entries:        0" in capsys.readouterr().out
