@@ -2,12 +2,13 @@
 
 Commands:
 
-* ``run``        — one (workload, scheme) simulation, print statistics
-* ``compare``    — all schemes on one workload (a Figs. 11/12 slice)
-* ``experiment`` — regenerate one paper artifact (table1, fig11..fig17)
-* ``workloads``  — list registered workload names
-* ``trace``      — capture a workload's op stream to a trace file
-* ``cache``      — inspect (``info``) or empty (``clear``) the result cache
+* ``run``         — one (workload, scheme) simulation, print statistics
+* ``compare``     — all schemes on one workload (a Figs. 11/12 slice)
+* ``experiment``  — regenerate one paper artifact (table1, fig11..fig17)
+* ``crash-sweep`` — crash NVOverlay at many points, verify recovery (§V-B)
+* ``workloads``   — list registered workload names
+* ``trace``       — capture a workload's op stream to a trace file
+* ``cache``       — inspect (``info``) or empty (``clear``) the result cache
 
 Simulating commands accept ``--jobs N`` (fan the experiment grid over a
 process pool) and ``--no-cache`` (bypass the on-disk result cache under
@@ -20,6 +21,7 @@ Examples::
     python -m repro compare --workload kmeans --jobs 4
     python -m repro experiment fig11 --jobs 2 --scale 0.05
     python -m repro experiment fig13 --no-cache
+    python -m repro crash-sweep --workload uniform --scale 0.1 --jobs 2
     python -m repro cache info
     python -m repro trace --workload art --scale 0.1 --out art.trace
 """
@@ -197,6 +199,44 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_crash_sweep(args) -> int:
+    from .faults import crash_sweep  # lazy: pulls in the whole harness
+
+    config = None
+    if args.epoch_stores is not None:
+        from .sim import SystemConfig
+
+        config = SystemConfig(epoch_size_stores=args.epoch_stores)
+    result = crash_sweep(
+        args.workload,
+        config=config,
+        scale=args.scale,
+        seed=args.seed,
+        event=args.event,
+        every=args.every,
+        max_points=args.max_points,
+        jobs=args.jobs or 1,
+        cache=not args.no_cache,
+        progress=_print_progress,
+    )
+    print(f"workload:       {result.workload}")
+    print(f"event stream:   {result.event} ({result.total_events:,} events)")
+    print(f"crash points:   {len(result.points)}")
+    crashed = sum(1 for p in result.points if p.crashed)
+    print(f"crashed:        {crashed} (rest ran past the end of the stream)")
+    if result.failures:
+        for point in result.failures:
+            print(
+                f"FAIL at {point.plan.event} #{point.plan.count}: "
+                f"rec_epoch {point.rec_epoch} "
+                f"matches={point.matches} frontier_ok={point.frontier_ok}"
+            )
+        print(f"verdict:        FAIL ({len(result.failures)} bad crash points)")
+        return 1
+    print("verdict:        OK (recovered image == golden replay at every point)")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = RunCache()
     if args.action == "info":
@@ -205,6 +245,8 @@ def _cmd_cache(args) -> int:
         print(f"entries:        {info['entries']}")
         print(f"bytes:          {info['bytes']:,}")
         print(f"schema version: {info['schema_version']}")
+        print(f"all-time hits:  {info['total_hits']}")
+        print(f"all-time misses: {info['total_misses']}")
     else:  # clear
         removed = cache.clear()
         print(f"removed {removed} cached record(s) from {cache.directory}")
@@ -253,6 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated workload subset (fig11/12/13)")
     parallel_opts(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_sweep = sub.add_parser(
+        "crash-sweep",
+        help="crash NVOverlay at many points and verify recovery",
+    )
+    common(p_sweep)
+    parallel_opts(p_sweep)
+    p_sweep.add_argument("--event", default="any",
+                         choices=["any", "store", "eviction", "walker_pass",
+                                  "merge", "buffer_write"],
+                         help="event stream the crash points count")
+    p_sweep.add_argument("--every", type=int, default=None,
+                         help="events between crash points (default ~20 points)")
+    p_sweep.add_argument("--max-points", type=int, default=None,
+                         help="cap the number of crash points")
+    p_sweep.add_argument("--epoch-stores", type=int, default=None,
+                         help="override epoch size in stores (smaller = more epochs)")
+    p_sweep.set_defaults(func=_cmd_crash_sweep)
 
     p_list = sub.add_parser("workloads", help="list workload names")
     p_list.set_defaults(func=_cmd_workloads)

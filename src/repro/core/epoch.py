@@ -56,10 +56,16 @@ class EpochSpace:
         base = reference - (reference & (self.size - 1)) + wire
         # Candidates one wrap below/above; pick the one closest to the
         # reference (ties break toward the future, matching serial-number
-        # arithmetic where equal distance is ambiguous anyway).
+        # arithmetic where equal distance is ambiguous anyway).  Negative
+        # candidates still compete on nearness — skipping them would make
+        # a small reference resolve a just-behind-the-wrap wire to a full
+        # wrap in the future — and clamp to 0 only at the end.
         best = base
         for candidate in (base - self.size, base + self.size):
-            if candidate >= 0 and abs(candidate - reference) < abs(best - reference):
+            distance, best_distance = abs(candidate - reference), abs(best - reference)
+            if distance < best_distance or (
+                distance == best_distance and candidate > best
+            ):
                 best = candidate
         return max(best, 0)
 

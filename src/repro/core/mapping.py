@@ -83,6 +83,25 @@ class RadixTree:
             node = child  # type: ignore[assignment]
         return node.get(self._indices(key)[-1])
 
+    def remove(self, key: int) -> Optional[object]:
+        """Unmap ``key``; returns the removed value, or None.
+
+        Interior nodes stay allocated — removal only happens during
+        merge-journal rollback, where the node footprint at crash time is
+        what recovery inherits anyway.
+        """
+        indices = self._indices(key)
+        node = self.root
+        for index in indices[:-1]:
+            child = node.get(index)
+            if child is None:
+                return None
+            node = child  # type: ignore[assignment]
+        previous = node.pop(indices[-1], None)
+        if previous is not None:
+            self.entries -= 1
+        return previous
+
     def items(self) -> Iterator[Tuple[int, object]]:
         """All (key, value) pairs, in key order within each node."""
 
@@ -212,6 +231,10 @@ class MasterTable:
 
     def lookup(self, line: int) -> Optional[VersionLocation]:
         return self._tree.lookup(line)  # type: ignore[return-value]
+
+    def remove(self, line: int) -> Optional[VersionLocation]:
+        """Unmap ``line`` (merge-journal rollback); returns the old location."""
+        return self._tree.remove(line)  # type: ignore[return-value]
 
     def entries(self) -> Iterator[Tuple[int, VersionLocation]]:
         return self._tree.items()  # type: ignore[return-value]

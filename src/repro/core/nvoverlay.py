@@ -100,6 +100,7 @@ class NVOverlay(SnapshotScheme):
             quota_pages=self.params.quota_pages,
             os_grow_pages=self.params.os_grow_pages,
         )
+        self.cluster.set_fault_injector(getattr(machine, "fault_injector", None))
         self.space = EpochSpace(config.epoch_bits)
         self.sense = SenseController(self.space, config.num_vds)
         self.walkers = [

@@ -71,6 +71,16 @@ class OMC:
         self._epoch_subpages: Dict[int, List[int]] = {}
         self._subpage_epoch: Dict[int, int] = {}
         self._pending_stall = 0
+        # Merge undo journal: while a cluster-coordinated merge is in
+        # flight (between begin_merge and commit_merge) every Master
+        # Table mutation is journalled and every reclamation deferred,
+        # so a crash before the rec-epoch pointer persists can roll the
+        # table back to the previous recoverable image.
+        self.merge_active = False
+        self._merge_undo: List[Tuple[int, Optional[VersionLocation]]] = []
+        self._merge_freed: List[VersionLocation] = []
+        self._merge_dropped_epochs: List[int] = []
+        self._merge_prev_through = 0
 
     # ------------------------------------------------------------------
     # Version ingest
@@ -161,10 +171,17 @@ class OMC:
                 new_nodes, previous = self.master.insert(line, location)
                 self.pool.subpage(location.subpage_id).master_refs += 1
                 metadata_bytes += ENTRY_BYTES * (1 + new_nodes)
-                if previous is not None:
+                if self.merge_active:
+                    self._merge_undo.append((line, previous))
+                    if previous is not None:
+                        self._merge_freed.append(previous)
+                elif previous is not None:
                     self._drop_master_ref(previous)
             if not self.retain_epoch_tables:
-                self._drop_epoch_table(e)
+                if self.merge_active:
+                    self._merge_dropped_epochs.append(e)
+                else:
+                    self._drop_epoch_table(e)
         # Table-entry updates are adjacent within radix nodes, so the OMC
         # coalesces them into full-line NVM transfers.
         chunk = 0
@@ -177,6 +194,52 @@ class OMC:
         if merged:
             self.stats.inc(f"omc{self.id}.merged_entries", merged)
         return merged
+
+    # -- merge undo journal -------------------------------------------------
+    def begin_merge(self) -> None:
+        """Open the undo journal for a cluster-coordinated merge."""
+        self.merge_active = True
+        self._merge_undo = []
+        self._merge_freed = []
+        self._merge_dropped_epochs = []
+        self._merge_prev_through = self.merged_through
+
+    def commit_merge(self) -> None:
+        """The rec-epoch pointer persisted: apply deferred reclamation."""
+        for location in self._merge_freed:
+            self._drop_master_ref(location)
+        for epoch in self._merge_dropped_epochs:
+            self._drop_epoch_table(epoch)
+        self.merge_active = False
+        self._merge_undo = []
+        self._merge_freed = []
+        self._merge_dropped_epochs = []
+
+    def rollback_merge(self) -> int:
+        """Undo an uncommitted merge; returns the entries rolled back.
+
+        Restored previous locations keep the master ref they already
+        held (its drop was deferred, never applied); only the refs taken
+        by this merge's inserts are released.
+        """
+        undone = 0
+        for line, previous in reversed(self._merge_undo):
+            current = self.master.lookup(line)
+            if current is not None:
+                self.pool.subpage(current.subpage_id).master_refs -= 1
+            if previous is None:
+                self.master.remove(line)
+            else:
+                self.master.insert(line, previous)
+            undone += 1
+        self.merged_through = self._merge_prev_through
+        self.merge_active = False
+        self._merge_undo = []
+        self._merge_freed = []
+        self._merge_dropped_epochs = []
+        if undone:
+            self.stats.inc(f"omc{self.id}.merge_rollback_entries", undone)
+        return undone
 
     def _drop_master_ref(self, location: VersionLocation) -> None:
         subpage = self.pool.subpage(location.subpage_id)
@@ -290,8 +353,22 @@ class OMCCluster:
         self.quota_pages = quota_pages
         #: Most recent min-ver report per VD (the master OMC's array).
         self.min_vers: Dict[int, int] = {vd: 1 for vd in range(num_vds)}
+        #: Per-VD lowering sequence number: bumped whenever a dirty
+        #: migration lowers the bound, so walker reports computed before
+        #: the lowering are recognizably stale (see update_min_ver).
+        self._min_ver_seq: Dict[int, int] = {vd: 0 for vd in range(num_vds)}
         self.rec_epoch = 0
         self._contexts: Dict[int, List[int]] = {vd: [] for vd in range(num_vds)}
+        #: Optional crash-point injector (repro.faults); wired by the
+        #: scheme at attach time.  None disables every hook.
+        self.fault_injector = None
+
+    def set_fault_injector(self, injector) -> None:
+        """Arm (or disarm, with None) crash-point hooks cluster-wide."""
+        self.fault_injector = injector
+        for omc in self.omcs:
+            if omc.buffer is not None:
+                omc.buffer.injector = injector
 
     def omc_of(self, line: int) -> OMC:
         # Partition by 16 MB address region (the paper gives each OMC an
@@ -304,8 +381,26 @@ class OMCCluster:
         return self.omc_of(line).insert_version(line, oid, data, now)
 
     # -- rec-epoch protocol --------------------------------------------------
-    def update_min_ver(self, vd_id: int, min_ver: int, now: int) -> None:
-        """A VD's tag walker finished a pass and reports its min-ver."""
+    def min_ver_seq(self, vd_id: int) -> int:
+        """Current lowering sequence number for a VD (walker pass token)."""
+        return self._min_ver_seq[vd_id]
+
+    def update_min_ver(
+        self, vd_id: int, min_ver: int, now: int, seq: Optional[int] = None
+    ) -> None:
+        """A VD's tag walker finished a pass and reports its min-ver.
+
+        ``seq`` is the lowering sequence number the walker sampled when
+        the pass *began*.  If a dirty migration lowered the VD's bound in
+        between, the report is stale: it was computed without knowledge
+        of the migrated-in version and must never raise the bound past
+        the pending lowered value.  A ``seq`` of None marks a
+        synchronous, authoritative report (finalize) that may raise
+        unconditionally.
+        """
+        if seq is not None and seq != self._min_ver_seq[vd_id]:
+            self.stats.inc("omc.stale_min_ver_reports")
+            min_ver = min(min_ver, self.min_vers[vd_id])
         self.min_vers[vd_id] = min_ver
         self._advance_rec_epoch(now)
 
@@ -313,22 +408,46 @@ class OMCCluster:
         """A dirty version of epoch ``oid`` migrated into ``vd_id``."""
         if oid < self.min_vers[vd_id]:
             self.min_vers[vd_id] = oid
+            self._min_ver_seq[vd_id] += 1
             self.stats.inc("omc.min_ver_lowered")
 
     def _advance_rec_epoch(self, now: int) -> None:
         candidate = min(self.min_vers.values()) - 1
         if candidate <= self.rec_epoch:
             return
+        # Merge first, persist the pointer last: the 8-byte rec-epoch
+        # write is the atomic commit point (§V-B).  Each OMC journals its
+        # Master Table mutations so a crash anywhere before the pointer
+        # persists rolls back to the previous recoverable image intact.
+        for omc in self.omcs:
+            if self.fault_injector is not None:
+                self.fault_injector.on_event("merge", now)
+            omc.begin_merge()
+            omc.merge_through(candidate, now)
         self.rec_epoch = candidate
         # The master OMC atomically persists rec-epoch (8 B pointer).
         self.nvm.write_background(0, ENTRY_BYTES, now, "metadata")
         self.stats.set("omc.rec_epoch", candidate)
         for omc in self.omcs:
-            omc.merge_through(candidate, now)
+            omc.commit_merge()
         if self.quota_pages is not None:
             from .gc import compact_if_needed  # local import: gc uses OMC
 
             compact_if_needed(self, now)
+
+    def abort_in_flight_merges(self) -> int:
+        """Crash recovery step one: roll back any uncommitted merges.
+
+        Returns the number of OMCs that had a merge in flight (at most
+        all of them if the crash hit between the first ``begin_merge``
+        and the rec-epoch pointer write).
+        """
+        aborted = 0
+        for omc in self.omcs:
+            if omc.merge_active:
+                omc.rollback_merge()
+                aborted += 1
+        return aborted
 
     def record_context(self, vd_id: int, epoch: int) -> None:
         """Remember that a VD dumped its core contexts for ``epoch``."""

@@ -30,9 +30,15 @@ class OMCBuffer:
         self.array = CacheArray(geometry, "omc_buffer", stats)
         self.stats = stats
         self._flush = flush_fn
+        #: Optional crash-point injector (repro.faults).  Only ``insert``
+        #: is a crash point: the buffer is battery-backed, so its drain
+        #: paths run as part of recovery itself and must not crash.
+        self.injector = None
 
     def insert(self, line: int, oid: int, data: int, now: int) -> None:
         """Absorb one version write-back."""
+        if self.injector is not None:
+            self.injector.on_event("buffer_write", now)
         self.stats.inc("omc_buffer.writes")
         entry = self.array.lookup(line)
         if entry is not None:

@@ -45,6 +45,9 @@ class TagWalker:
         self._cursor = 0  # next L2 set to scan
         self._budget = 0.0  # fractional tags of accrued scan budget
         self._last_poll = 0
+        # Lowering sequence number sampled when the current pass began;
+        # reported with the pass so the OMC can detect stale reports.
+        self._pass_seq = cluster.min_ver_seq(vd.id)
         self.passes_completed = 0
 
     def poll(self, now: int) -> None:
@@ -63,6 +66,8 @@ class TagWalker:
         max_sets = min(int(self._budget // ways), num_sets)
         for _ in range(max_sets):
             self._budget -= ways
+            if self._cursor == 0:
+                self._pass_seq = self.cluster.min_ver_seq(self.vd.id)
             self._scan_set(self._cursor, now)
             self._cursor += 1
             if self._cursor >= num_sets:
@@ -78,13 +83,17 @@ class TagWalker:
 
     def _complete_pass(self, now: int) -> None:
         """End of a full scan: compute and report min-ver (§V-B)."""
+        injector = self.hierarchy.fault_injector
+        if injector is not None:
+            injector.on_event("walker_pass", now)
         self.passes_completed += 1
         min_ver = self.hierarchy.min_dirty_oid(self.vd)
-        self.cluster.update_min_ver(self.vd.id, min_ver, now)
+        self.cluster.update_min_ver(self.vd.id, min_ver, now, seq=self._pass_seq)
         self.stats.inc("walker.passes")
 
     def force_pass(self, now: int) -> None:
         """Synchronously walk everything (used at finalize)."""
+        self._pass_seq = self.cluster.min_ver_seq(self.vd.id)
         for set_index in range(self.vd.l2.geometry.num_sets):
             self._scan_set(set_index, now)
         self._complete_pass(now)

@@ -1,0 +1,157 @@
+"""Crash plans and the fault injector: *where* a simulated power loss hits.
+
+The paper's headline guarantee (§V-B) is that a crash at *any* instant
+leaves a recoverable epoch whose image the Master Mapping Table can
+reconstruct.  This module provides the machinery to pick that instant
+deterministically:
+
+* :class:`CrashPlan` — a value object naming one crash point, keyed on
+  protocol *event counts* ("the Nth store", "the Nth L2 eviction", "the
+  Nth tag-walker pass", "the Nth mapping-table merge", or "the Nth event
+  of any kind").  Plans are JSON-serializable so they can ride inside a
+  ``RunSpec`` and participate in the result-cache key.
+* :class:`FaultInjector` — the per-machine event counter the hooks in
+  ``sim/hierarchy.py``, ``core/omc.py``, ``core/tag_walker.py`` and
+  ``core/omc_buffer.py`` report into.  When the armed plan's count is
+  reached it raises :class:`SimulatedCrash`, which unwinds the run.
+
+Determinism: the simulator itself is deterministic, so (spec, plan)
+fully determines the machine state at the crash instant.  ``sweep_plans``
+and ``seeded_plans`` generate families of plans — an "every K events"
+sweep and a seeded pseudo-random scatter — without any hidden state.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the core/sim layers can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Event kinds the injector counts.  "any" matches the union stream.
+CRASH_EVENTS = ("store", "eviction", "walker_pass", "merge", "buffer_write")
+ANY_EVENT = "any"
+
+
+class SimulatedCrash(Exception):
+    """Power loss at a planned crash point; unwinds the simulation.
+
+    Everything volatile (caches, DRAM, per-epoch mapping tables, in-flight
+    merge journals) is dead once this propagates; recovery may only touch
+    NVM-persistent and battery-backed state.
+    """
+
+    def __init__(self, event: str, count: int, now: int) -> None:
+        super().__init__(f"simulated crash at {event} #{count} (cycle {now})")
+        self.event = event
+        self.count = count
+        self.now = now
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash at the ``count``-th occurrence of ``event``.
+
+    ``event`` is one of :data:`CRASH_EVENTS` or ``"any"`` (the merged
+    stream of all counted events).  ``count`` is 1-based; a count larger
+    than the number of events in the run means the run completes normally
+    (useful as a counting probe).
+    """
+
+    event: str = ANY_EVENT
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event != ANY_EVENT and self.event not in CRASH_EVENTS:
+            known = ", ".join((ANY_EVENT,) + CRASH_EVENTS)
+            raise ValueError(f"unknown crash event {self.event!r}; known: {known}")
+        if self.count < 1:
+            raise ValueError("crash counts are 1-based")
+
+    # -- serialization (rides inside RunSpec / the cache key) -------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"event": self.event, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashPlan":
+        return cls(event=data["event"], count=data["count"])
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def at_store(cls, n: int) -> "CrashPlan":
+        return cls(event="store", count=n)
+
+    @classmethod
+    def at_eviction(cls, n: int) -> "CrashPlan":
+        return cls(event="eviction", count=n)
+
+    @classmethod
+    def at_walker_pass(cls, n: int) -> "CrashPlan":
+        return cls(event="walker_pass", count=n)
+
+    @classmethod
+    def at_merge(cls, n: int) -> "CrashPlan":
+        return cls(event="merge", count=n)
+
+
+def sweep_plans(total_events: int, every: int, event: str = ANY_EVENT) -> List[CrashPlan]:
+    """The "every K events" sweep: plans at K, 2K, ... <= ``total_events``."""
+    if every < 1:
+        raise ValueError("sweep stride must be >= 1")
+    return [CrashPlan(event=event, count=n)
+            for n in range(every, total_events + 1, every)]
+
+
+def seeded_plans(
+    seed: int,
+    points: int,
+    total_events: int,
+    events: Sequence[str] = (ANY_EVENT,),
+) -> List[CrashPlan]:
+    """``points`` pseudo-random crash points, reproducible from ``seed``."""
+    rng = random.Random(seed)
+    plans = []
+    for _ in range(points):
+        event = events[rng.randrange(len(events))]
+        plans.append(CrashPlan(event=event, count=rng.randint(1, max(1, total_events))))
+    return plans
+
+
+class FaultInjector:
+    """Counts protocol events and raises at the planned crash point.
+
+    With ``plan=None`` the injector only counts (a probe): hooks stay
+    live but nothing ever fires.  Machines built without any injector
+    skip the hooks entirely, so the common path pays nothing.
+    """
+
+    def __init__(self, plan: Optional[CrashPlan] = None) -> None:
+        self.plan = plan
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+        self.fired: Optional[SimulatedCrash] = None
+
+    def on_event(self, event: str, now: int = 0) -> None:
+        """Report one event; raises :class:`SimulatedCrash` when due."""
+        self.counts[event] = self.counts.get(event, 0) + 1
+        self.total += 1
+        plan = self.plan
+        if plan is None or self.fired is not None:
+            return
+        if plan.event == ANY_EVENT:
+            n = self.total
+        elif plan.event == event:
+            n = self.counts[event]
+        else:
+            return
+        if n >= plan.count:
+            self.fired = SimulatedCrash(event, n, now)
+            raise self.fired
+
+    def event_totals(self) -> Dict[str, int]:
+        """Per-event counts plus the merged ``"any"`` stream total."""
+        totals = dict(self.counts)
+        totals[ANY_EVENT] = self.total
+        return totals

@@ -1,0 +1,286 @@
+"""Crash-recovery verification: crash mid-run, recover, diff vs golden.
+
+The crash model (what survives a power loss):
+
+* **survives** — the NVM overlay pool's version data, the persisted
+  rec-epoch pointer, the Master Mapping Tables, the master OMC's
+  min-ver array (small battery-backed SRAM), and the battery-backed OMC
+  write-back buffer, which drains itself to NVM on power loss (§IV-E);
+* **dies** — L1/L2/LLC contents, DRAM, the volatile per-epoch mapping
+  tables, the pool allocation bitmap, and any mapping-table merge that
+  had not yet committed by persisting the rec-epoch pointer (its undo
+  journal is rolled back as the first recovery step).
+
+``verify_crash`` runs one workload under a :class:`~repro.faults.plan.
+CrashPlan`, performs recovery on the surviving state, and checks the
+paper's §V-B guarantee: the image ``SnapshotReader.recover()`` rebuilds
+at the recoverable epoch equals ``golden_image`` — the store log
+replayed to that same epoch — and the recoverable epoch never exceeds
+the min-ver bound ``min(min-vers) - 1``.
+
+``crash_sweep`` fans a family of crash points out through the standard
+harness (``ParallelRunner`` + ``RunCache``): one probe run counts the
+events, then one verified run per crash point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.snapshot import SnapshotReader, golden_image
+from ..harness.parallel import ParallelRunner
+from ..harness.runner import RunRecord, make_scheme
+from ..harness.spec import RunSpec
+from ..sim import Machine, SystemConfig
+from ..workloads import make_workload
+from .plan import ANY_EVENT, CrashPlan, FaultInjector, SimulatedCrash
+
+#: A crash count no run ever reaches: plans with this count are probes —
+#: the run completes cleanly and the record carries the event totals.
+PROBE_COUNT = 1 << 62
+
+#: How many mismatching lines a verification keeps for diagnosis.
+MAX_MISMATCHES = 10
+
+
+@dataclass
+class CrashVerification:
+    """Outcome of one crash + recovery + golden-image comparison."""
+
+    spec: RunSpec
+    plan: Optional[CrashPlan]
+    crashed: bool
+    crash_event: Optional[str]
+    crash_count: Optional[int]
+    crash_cycle: Optional[int]
+    #: The epoch recovery actually rebuilt (the persisted pointer).
+    rec_epoch: int
+    #: The min-ver bound ``min(min-vers) - 1`` at crash time.
+    reported_rec_epoch: int
+    frontier_ok: bool
+    matches: bool
+    recovered_lines: int
+    golden_lines: int
+    #: First few (line, recovered, golden) differences, for diagnosis.
+    mismatches: List[Tuple[int, Optional[int], Optional[int]]]
+    event_totals: Dict[str, int]
+    aborted_merges: int
+    drained_buffer_entries: int
+
+    @property
+    def ok(self) -> bool:
+        return self.matches and self.frontier_ok
+
+
+def verify_crash(spec: RunSpec, plan: Optional[CrashPlan]) -> CrashVerification:
+    """Run ``spec`` under ``plan``, crash, recover, verify (§V-B).
+
+    ``spec.crash_plan`` is ignored — the plan is passed explicitly so a
+    probe (``plan=None`` or an unreachable count) and a crash share one
+    code path.  If the plan never fires the run completes through
+    ``finalize`` and the same verification applies to the final state.
+    """
+    if spec.scheme != "nvoverlay":
+        raise ValueError(
+            f"crash verification needs the nvoverlay scheme, got {spec.scheme!r}"
+        )
+    config = spec.resolved_config
+    scheme = make_scheme(spec.scheme, spec.nvo_params)
+    injector = FaultInjector(plan)
+    machine = Machine(
+        config,
+        scheme=scheme,
+        capture_store_log=True,
+        fault_injector=injector,
+    )
+    workload = make_workload(
+        spec.workload, num_threads=config.num_cores, scale=spec.scale,
+        seed=spec.seed,
+    )
+    crash: Optional[SimulatedCrash] = None
+    try:
+        machine.run(workload)
+    except SimulatedCrash as exc:
+        crash = exc
+
+    cluster = scheme.cluster
+    assert cluster is not None
+    now = crash.now if crash is not None else 0
+    # Recovery, on the surviving state only:
+    # 1. roll back mapping-table merges that never committed;
+    aborted = cluster.abort_in_flight_merges()
+    # 2. the battery-backed buffer drains itself to the overlay pool
+    #    (entries of epochs beyond rec-epoch land in dead per-epoch
+    #    tables and are simply not part of the recovered image);
+    drained = 0
+    for omc in cluster.omcs:
+        if omc.buffer is not None:
+            drained += omc.buffer.flush_all(now)
+    # 3. rebuild the volatile structures and read the image back.
+    reported = min(cluster.min_vers.values()) - 1
+    restarted = cluster.cold_restart()
+    image = SnapshotReader(restarted).recover()
+
+    store_log = machine.hierarchy.store_log or []
+    golden = golden_image(store_log, image.epoch)
+    mismatches: List[Tuple[int, Optional[int], Optional[int]]] = []
+    if image.lines != golden:
+        for line in sorted(set(image.lines) | set(golden)):
+            recovered_value = image.lines.get(line)
+            golden_value = golden.get(line)
+            if recovered_value != golden_value:
+                mismatches.append((line, recovered_value, golden_value))
+                if len(mismatches) >= MAX_MISMATCHES:
+                    break
+    return CrashVerification(
+        spec=spec,
+        plan=plan,
+        crashed=crash is not None,
+        crash_event=crash.event if crash is not None else None,
+        crash_count=crash.count if crash is not None else None,
+        crash_cycle=crash.now if crash is not None else None,
+        rec_epoch=image.epoch,
+        reported_rec_epoch=reported,
+        frontier_ok=image.epoch <= reported,
+        matches=image.lines == golden,
+        recovered_lines=len(image.lines),
+        golden_lines=len(golden),
+        mismatches=mismatches,
+        event_totals=injector.event_totals(),
+        aborted_merges=aborted,
+        drained_buffer_entries=drained,
+    )
+
+
+def crashed_run_record(spec: RunSpec) -> RunRecord:
+    """``simulate`` delegate for specs carrying a ``crash_plan``.
+
+    The verification outcome is flattened into ``record.extra`` so it
+    caches and crosses process boundaries like any other record.
+    """
+    plan = spec.crash_plan
+    assert plan is not None
+    verification = verify_crash(spec.with_changes(crash_plan=None), plan)
+    record = RunRecord(
+        workload=spec.workload,
+        scheme=spec.scheme,
+        cycles=verification.crash_cycle or 0,
+        stores=verification.event_totals.get("store", 0),
+        transactions=0,
+        nvm_bytes={},
+        evict_reasons={},
+        bandwidth_series=[],
+    )
+    extra = record.extra
+    extra["crashed"] = int(verification.crashed)
+    if verification.crashed:
+        extra["crash_event"] = verification.crash_event
+        extra["crash_count"] = verification.crash_count
+        extra["crash_cycle"] = verification.crash_cycle
+    extra["rec_epoch"] = verification.rec_epoch
+    extra["reported_rec_epoch"] = verification.reported_rec_epoch
+    extra["frontier_ok"] = int(verification.frontier_ok)
+    extra["image_matches"] = int(verification.matches)
+    extra["recovered_lines"] = verification.recovered_lines
+    extra["golden_lines"] = verification.golden_lines
+    extra["mismatched_lines"] = len(verification.mismatches)
+    extra["aborted_merges"] = verification.aborted_merges
+    extra["drained_buffer_entries"] = verification.drained_buffer_entries
+    for event, count in verification.event_totals.items():
+        extra[f"fault_events_{event}"] = count
+    return record
+
+
+# --------------------------------------------------------------------------
+# Sweeps
+# --------------------------------------------------------------------------
+
+@dataclass
+class CrashSweepPoint:
+    """One crash point's verdict within a sweep."""
+
+    plan: CrashPlan
+    crashed: bool
+    rec_epoch: int
+    matches: bool
+    frontier_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.matches and self.frontier_ok
+
+
+@dataclass
+class CrashSweepResult:
+    """A full sweep over one workload."""
+
+    workload: str
+    event: str
+    total_events: int
+    points: List[CrashSweepPoint]
+
+    @property
+    def failures(self) -> List[CrashSweepPoint]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.points) and not self.failures
+
+
+def crash_sweep(
+    workload: str,
+    *,
+    config: Optional[SystemConfig] = None,
+    scale: float = 0.05,
+    seed: int = 1,
+    nvo_params=None,
+    event: str = ANY_EVENT,
+    every: Optional[int] = None,
+    max_points: Optional[int] = None,
+    jobs: Optional[int] = 1,
+    cache: Union[None, bool, Any] = False,
+    progress=None,
+) -> CrashSweepResult:
+    """Verify recovery at "every K events" crash points of one workload.
+
+    A probe run (plan that never fires) counts the events first; crash
+    points are then placed every ``every`` events (default: ~20 points
+    across the run), capped at ``max_points``.  All runs go through the
+    standard harness, so ``jobs`` and ``cache`` behave as everywhere
+    else and repeated sweeps are answered from the cache.
+    """
+    base = RunSpec(
+        workload=workload, scheme="nvoverlay", config=config, scale=scale,
+        seed=seed, nvo_params=nvo_params,
+    )
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    probe = base.with_changes(crash_plan=CrashPlan(event=event, count=PROBE_COUNT))
+    probe_record = runner.run_one(probe)
+    total = int(probe_record.extra.get(f"fault_events_{event}", 0))
+    if total < 1:
+        return CrashSweepResult(workload=workload, event=event,
+                                total_events=0, points=[])
+    if every is None:
+        every = max(1, total // 20)
+    counts = list(range(every, total + 1, every))
+    if max_points is not None:
+        counts = counts[:max_points]
+    specs = [
+        base.with_changes(crash_plan=CrashPlan(event=event, count=n))
+        for n in counts
+    ]
+    records = runner.run(specs)
+    points = [
+        CrashSweepPoint(
+            plan=spec.crash_plan,
+            crashed=bool(record.extra.get("crashed")),
+            rec_epoch=int(record.extra.get("rec_epoch", 0)),
+            matches=bool(record.extra.get("image_matches")),
+            frontier_ok=bool(record.extra.get("frontier_ok")),
+        )
+        for spec, record in zip(specs, records)
+    ]
+    return CrashSweepResult(workload=workload, event=event,
+                            total_events=total, points=points)

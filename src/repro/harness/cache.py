@@ -10,6 +10,14 @@ schema bump invalidates everything at once.  Records cross the disk as
 The directory defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
 Writes are atomic (temp file + ``os.replace``) so concurrent pool
 workers and concurrent harness invocations never observe torn entries.
+
+Hit/miss accounting is two-tier: ``hits``/``misses`` count this
+process's ``get`` calls (one harness session), while ``.counters.json``
+in the cache directory accumulates lifetime totals across *all*
+processes — pool workers report their lookups back as deltas through
+``add_counters`` and every session folds its deltas in via
+``flush_counters``, so ``repro cache info`` sees hits that happened
+inside ``--jobs N`` workers.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from .runner import RunRecord
 from .spec import CACHE_SCHEMA_VERSION, RunSpec
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+#: Lifetime hit/miss totals, shared by every process using a directory.
+COUNTERS_NAME = ".counters.json"
 
 
 def default_cache_dir() -> Path:
@@ -39,21 +49,37 @@ class RunCache:
         self.directory = Path(directory) if directory else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        # Deltas not yet folded into the on-disk lifetime totals.
+        self._pending_hits = 0
+        self._pending_misses = 0
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.directory / f"{spec.cache_key()}.json"
 
-    def get(self, spec: RunSpec) -> Optional[RunRecord]:
-        """The cached record for ``spec``, or None (counted as a miss)."""
+    def peek(self, spec: RunSpec) -> Optional[RunRecord]:
+        """Like ``get`` but without touching any counter.
+
+        Pool workers use this: their lookups are reported back to the
+        parent as deltas (``add_counters``) so they are not counted
+        twice — once here and once by the parent's own ``get`` prescan.
+        """
         path = self.path_for(spec)
         try:
             payload = json.loads(path.read_text())
-            record = RunRecord.from_dict(payload["record"])
+            return RunRecord.from_dict(payload["record"])
         except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def get(self, spec: RunSpec) -> Optional[RunRecord]:
+        """The cached record for ``spec``, or None (counted as a miss)."""
+        record = self.peek(spec)
+        if record is None:
             # Missing, torn or stale-format entries all read as misses.
             self.misses += 1
+            self._pending_misses += 1
             return None
         self.hits += 1
+        self._pending_hits += 1
         return record
 
     def put(self, spec: RunSpec, record: RunRecord) -> Path:
@@ -70,15 +96,51 @@ class RunCache:
         os.replace(tmp, path)
         return path
 
+    # -- cross-process counters --------------------------------------------
+    def add_counters(self, hits: int = 0, misses: int = 0) -> None:
+        """Merge counter deltas observed elsewhere (pool workers).
+
+        Only the lifetime totals are affected; the session ``hits`` /
+        ``misses`` keep describing this process's own lookups.
+        """
+        self._pending_hits += hits
+        self._pending_misses += misses
+
+    def flush_counters(self) -> None:
+        """Fold pending deltas into the on-disk lifetime totals."""
+        if not (self._pending_hits or self._pending_misses):
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        totals = self._read_total_counters()
+        totals["hits"] += self._pending_hits
+        totals["misses"] += self._pending_misses
+        path = self.directory / COUNTERS_NAME
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(totals))
+        os.replace(tmp, path)
+        self._pending_hits = 0
+        self._pending_misses = 0
+
+    def _read_total_counters(self) -> Dict[str, int]:
+        try:
+            data = json.loads((self.directory / COUNTERS_NAME).read_text())
+            return {"hits": int(data["hits"]), "misses": int(data["misses"])}
+        except (OSError, ValueError, KeyError, TypeError):
+            return {"hits": 0, "misses": 0}
+
     # -- maintenance -------------------------------------------------------
     def entries(self) -> list:
         if not self.directory.is_dir():
             return []
-        return sorted(self.directory.glob("*.json"))
+        return sorted(
+            p for p in self.directory.glob("*.json")
+            if not p.name.startswith(".")
+        )
 
     def info(self) -> Dict[str, Any]:
         """Directory, entry count and total bytes (for ``repro cache info``)."""
         entries = self.entries()
+        totals = self._read_total_counters()
         return {
             "directory": str(self.directory),
             "entries": len(entries),
@@ -86,10 +148,14 @@ class RunCache:
             "schema_version": CACHE_SCHEMA_VERSION,
             "hits": self.hits,
             "misses": self.misses,
+            "total_hits": totals["hits"] + self._pending_hits,
+            "total_misses": totals["misses"] + self._pending_misses,
         }
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry; returns how many were removed.
+
+        Lifetime counters reset along with the entries."""
         removed = 0
         for path in self.entries():
             try:
@@ -97,6 +163,12 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            (self.directory / COUNTERS_NAME).unlink()
+        except OSError:
+            pass
+        self._pending_hits = 0
+        self._pending_misses = 0
         return removed
 
 

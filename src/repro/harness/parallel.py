@@ -31,12 +31,30 @@ from .runner import RunRecord, simulate
 from .spec import RunSpec
 
 
-def _simulate_payload(spec_dict: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
-    """Pool worker: dict in, dict out (plus wall-clock seconds)."""
+def _simulate_payload(
+    spec_dict: Dict[str, Any], cache_dir: Optional[str] = None
+) -> Tuple[Dict[str, Any], float, bool]:
+    """Pool worker: dict in, (record dict, seconds, was_cache_hit) out.
+
+    When a cache directory is given, the worker consults the cache
+    itself (a concurrent harness invocation — or an identical spec
+    earlier in this grid — may have filled the entry after the parent's
+    prescan) and writes its own result back.  Lookups use ``peek`` so
+    counting stays with the parent, which folds a hit delta in per
+    ``True`` flag.
+    """
     spec = RunSpec.from_dict(spec_dict)
     start = time.perf_counter()
+    if cache_dir is not None:
+        cache = RunCache(cache_dir)
+        record = cache.peek(spec)
+        if record is not None:
+            return record.to_dict(), time.perf_counter() - start, True
+        record = simulate(spec)
+        cache.put(spec, record)
+        return record.to_dict(), time.perf_counter() - start, False
     record = simulate(spec)
-    return record.to_dict(), time.perf_counter() - start
+    return record.to_dict(), time.perf_counter() - start, False
 
 
 @dataclass(frozen=True)
@@ -109,9 +127,11 @@ class ParallelRunner:
         summary: RunSummary,
     ) -> None:
         workers = min(self.jobs, len(pending))
+        cache_dir = str(self.cache.directory) if self.cache is not None else None
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_simulate_payload, spec.to_dict()): (index, spec)
+                pool.submit(_simulate_payload, spec.to_dict(), cache_dir):
+                    (index, spec)
                 for index, spec in pending
             }
             outstanding = set(futures)
@@ -119,13 +139,20 @@ class ParallelRunner:
                 finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in finished:
                     index, spec = futures[future]
-                    record_dict, seconds = future.result()
+                    record_dict, seconds, worker_hit = future.result()
                     record = RunRecord.from_dict(record_dict)
                     results[index] = record
-                    if self.cache is not None:
-                        self.cache.put(spec, record)
-                    summary.executed += 1
-                    self._report(summary, spec.label, seconds, cached=False)
+                    if worker_hit:
+                        # The worker answered from the cache (filled after
+                        # our prescan); count it as a hit, not a run.
+                        summary.cache_hits += 1
+                        if self.cache is not None:
+                            self.cache.add_counters(hits=1)
+                        self._report(summary, spec.label, seconds, cached=True)
+                    else:
+                        # The worker wrote the entry itself (when caching).
+                        summary.executed += 1
+                        self._report(summary, spec.label, seconds, cached=False)
 
     # -- API ---------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -159,6 +186,8 @@ class ParallelRunner:
             else:
                 self._run_pool(pending, results, summary)
 
+        if self.cache is not None:
+            self.cache.flush_counters()
         summary.elapsed_seconds = time.perf_counter() - started
         self.last_summary = summary
         return results  # type: ignore[return-value]

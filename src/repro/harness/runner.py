@@ -110,6 +110,13 @@ def make_scheme(name: str, nvo_params: Optional[NVOverlayParams] = None) -> Snap
 
 def simulate(spec: RunSpec) -> RunRecord:
     """Run one cell, unconditionally (no cache).  Pure in ``spec``."""
+    if spec.crash_plan is not None:
+        # Crash-plan cells are verification runs: crash, recover, diff
+        # against the golden replay.  Lazy import — faults.verify pulls
+        # the harness back in.
+        from ..faults.verify import crashed_run_record
+
+        return crashed_run_record(spec)
     config = spec.resolved_config
     scheme = make_scheme(spec.scheme, spec.nvo_params)
     machine = Machine(
@@ -218,10 +225,12 @@ def run_one(
     if cache is not None:
         cached = cache.get(spec)
         if cached is not None:
+            cache.flush_counters()
             return cached
     record = simulate(spec)
     if cache is not None:
         cache.put(spec, record)
+        cache.flush_counters()
     return record
 
 

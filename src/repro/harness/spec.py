@@ -25,6 +25,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional
 
 from ..core import NVOverlayParams
+from ..faults.plan import CrashPlan
 from ..sim import SystemConfig
 from ..sim.config import (
     BurstyEpochPolicy,
@@ -35,7 +36,9 @@ from ..sim.config import (
 
 #: Bump whenever simulation semantics change in a way that invalidates
 #: previously cached records (new stats, timing-model fixes, ...).
-CACHE_SCHEMA_VERSION = 1
+#: 2: crash_plan joined the spec; rec-epoch advancement now merges
+#: before persisting the pointer (shifts background-write timing).
+CACHE_SCHEMA_VERSION = 2
 
 
 # --------------------------------------------------------------------------
@@ -139,6 +142,10 @@ class RunSpec:
     nvo_params: Optional[NVOverlayParams] = None
     capture_latency: bool = False
     capture_store_log: bool = False
+    #: Crash the run at this plan's event count and verify recovery
+    #: (repro.faults).  Part of the cache key: a crashed run's record
+    #: must never collide with the clean run of the same cell.
+    crash_plan: Optional[CrashPlan] = None
 
     @property
     def resolved_config(self) -> SystemConfig:
@@ -175,6 +182,7 @@ class RunSpec:
             "nvo_params": nvo_params_to_dict(spec.nvo_params),
             "capture_latency": spec.capture_latency,
             "capture_store_log": spec.capture_store_log,
+            "crash_plan": spec.crash_plan.to_dict() if spec.crash_plan else None,
         }
 
     @classmethod
@@ -188,6 +196,10 @@ class RunSpec:
             nvo_params=nvo_params_from_dict(data.get("nvo_params")),
             capture_latency=data.get("capture_latency", False),
             capture_store_log=data.get("capture_store_log", False),
+            crash_plan=(
+                CrashPlan.from_dict(data["crash_plan"])
+                if data.get("crash_plan") else None
+            ),
         )
 
     def cache_key(self) -> str:

@@ -139,6 +139,8 @@ class Hierarchy:
         #: Optional capture of (line, epoch, token, vd) per committed store,
         #: used by tests to build golden snapshot images.
         self.store_log: Optional[List[Tuple[int, int, int, int]]] = None
+        #: Optional crash-point injector (repro.faults); set by Machine.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -249,6 +251,10 @@ class Hierarchy:
         self.stats.inc("stores")
         if self.store_log is not None:
             self.store_log.append((entry.line, epoch, self._token, vd.id))
+        if self.fault_injector is not None:
+            # The store has committed (and hit the log): a crash here is
+            # "power lost with the new value still volatile in L1".
+            self.fault_injector.on_event("store", now)
         return extra
 
     def _upgrade_for_store(self, vd: VDState, core_id: int, line: int, now: int) -> int:
@@ -530,6 +536,8 @@ class Hierarchy:
     # ------------------------------------------------------------------
     def _evict_l2_entry(self, vd: VDState, entry: CacheLine, reason: str, now: int) -> int:
         """Evict an L2 line: recall L1 copies, write back, update directory."""
+        if self.fault_injector is not None:
+            self.fault_injector.on_event("eviction", now)
         line = entry.line
         latency = 0
         # Inclusive L2: member L1 copies must go.  Dirty L1 data merges

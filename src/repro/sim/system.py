@@ -49,6 +49,7 @@ class Machine:
         scheme: Optional[SnapshotScheme] = None,
         capture_store_log: bool = False,
         capture_latency: bool = False,
+        fault_injector=None,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = scheme or NoSnapshot()
@@ -63,6 +64,11 @@ class Machine:
         )
         if capture_store_log:
             self.hierarchy.store_log = []
+        #: Crash-point injector (repro.faults.FaultInjector) or None.
+        #: With None — the default — every hook stays disabled and the
+        #: simulation path is unchanged.
+        self.fault_injector = fault_injector
+        self.hierarchy.fault_injector = fault_injector
         #: Record a per-operation latency histogram ("op_latency" /
         #: "txn_latency") — opt-in, it costs a few percent of runtime.
         self.capture_latency = capture_latency

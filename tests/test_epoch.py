@@ -44,6 +44,27 @@ class TestEpochSpace:
         with pytest.raises(ValueError):
             EpochSpace(8).decode(256, reference=0)
 
+    def test_decode_clamps_just_behind_the_wrap(self):
+        space = EpochSpace(bits=8)
+        # Reference below half, wire just behind the wrap boundary: the
+        # nearest candidate is logically negative and clamps to 0.  The
+        # buggy decode skipped negative candidates, resolving these a
+        # full wrap into the future (254 and 255 here).
+        assert space.decode(254, reference=2) == 0
+        assert space.decode(255, reference=0) == 0
+
+    def test_decode_exact_half_distance_ties_toward_future(self):
+        space = EpochSpace(bits=8)
+        # Both candidates sit exactly half the space away; serial-number
+        # arithmetic is ambiguous there, so decode picks the future one.
+        assert space.decode(130, reference=2) == 130
+        assert space.decode(space.encode(428), reference=300) == 428
+
+    def test_decode_wire_equal_to_reference(self):
+        space = EpochSpace(bits=8)
+        assert space.decode(space.encode(2), reference=2) == 2
+        assert space.decode(space.encode(300), reference=300) == 300
+
     def test_wire_newer_basic(self):
         space = EpochSpace(bits=8)
         assert space.wire_newer(5, 3)
@@ -126,6 +147,47 @@ class TestSenseController:
         sense.on_vd_advance(0, 10)
         with pytest.raises(EpochSkewError):
             sense.on_vd_advance(1, 10 + space.half)
+
+    def test_flip_at_maximum_legal_skew(self):
+        # One VD crosses the group boundary while the laggard trails by
+        # half - 1 — the largest skew the wire encoding can still order.
+        space = EpochSpace(bits=8)
+        sense = SenseController(space, num_vds=2)
+        sense.on_vd_advance(0, 3)
+        sense.on_vd_advance(1, 3 + space.half - 1)  # 130: crosses into U
+        assert sense.max_skew() == space.half - 1
+        assert sense.flips == 1
+        assert sense.sense == 1
+
+    def test_laggard_catching_up_at_max_skew_does_not_reflip(self):
+        space = EpochSpace(bits=8)
+        sense = SenseController(space, num_vds=2)
+        sense.on_vd_advance(0, 3)
+        sense.on_vd_advance(1, 130)
+        sense.on_vd_advance(0, 130)  # laggard joins the upper group
+        assert sense.flips == 1
+        # The leader crossing the next boundary (256) at max legal skew
+        # flips again, back to sense 0.
+        sense.on_vd_advance(1, 130 + space.half - 1)  # 257
+        assert sense.max_skew() == space.half - 1
+        assert sense.flips == 2
+        assert sense.sense == 0
+
+    def test_multi_boundary_jump_flips_parity(self):
+        space = EpochSpace(bits=8)
+        sense = SenseController(space, num_vds=1)
+        sense.on_vd_advance(0, 300)  # crosses 128 and 256 in one advance
+        assert sense.flips == 2
+        assert sense.sense == 0
+
+    def test_exact_half_skew_raises_before_flip_accounting(self):
+        space = EpochSpace(bits=8)
+        sense = SenseController(space, num_vds=2)
+        sense.on_vd_advance(0, space.half - 1)  # 127: legal, still in L
+        assert sense.flips == 0
+        with pytest.raises(EpochSkewError):
+            sense.on_vd_advance(0, space.half)  # skew vs. VD 1 hits half
+        assert sense.flips == 0  # the rejected advance never flipped
 
     def test_monotonicity_enforced(self):
         space = EpochSpace(bits=8)

@@ -1,0 +1,278 @@
+"""Crash-point fault injection and recovery verification (§V-B).
+
+Three layers of coverage:
+
+* unit tests for ``CrashPlan`` / ``FaultInjector`` / plan generators;
+* direct OMC tests for the merge undo journal and the stale min-ver
+  regression (a walker report computed before a dirty migration must
+  never raise the bound past the migrated-in version);
+* end-to-end ``verify_crash`` / ``crash_sweep`` runs: the acceptance
+  sweep drops power at 200+ points across three workloads and checks
+  that every recovered image equals the golden store-log replay and
+  that the recovered epoch never exceeds the min-ver frontier.
+"""
+
+import pytest
+
+from repro.core import OMC, OMCCluster
+from repro.faults import (
+    ANY_EVENT,
+    CRASH_EVENTS,
+    CrashPlan,
+    FaultInjector,
+    SimulatedCrash,
+    seeded_plans,
+    sweep_plans,
+    verify_crash,
+)
+from repro.harness.spec import RunSpec
+from repro.sim import NVM, Stats, SystemConfig
+
+SMALL = SystemConfig(num_cores=4, cores_per_vd=2, epoch_size_stores=100)
+
+
+def small_spec(workload="uniform", **kwargs):
+    kwargs.setdefault("config", SMALL)
+    kwargs.setdefault("scale", 0.05)
+    return RunSpec(workload=workload, scheme="nvoverlay", **kwargs)
+
+
+def make_omc(**kwargs):
+    stats = Stats()
+    nvm = NVM(SystemConfig(), stats)
+    kwargs.setdefault("pool_pages", 1024)
+    return OMC(0, nvm, stats, **kwargs)
+
+
+def make_cluster(num_omcs=1, num_vds=2, **kwargs):
+    stats = Stats()
+    nvm = NVM(SystemConfig(), stats)
+    kwargs.setdefault("pool_pages", 1024)
+    return OMCCluster(num_omcs, num_vds, nvm, stats, **kwargs)
+
+
+class TestCrashPlan:
+    def test_rejects_unknown_event(self):
+        with pytest.raises(ValueError, match="unknown crash event"):
+            CrashPlan(event="flush", count=1)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="1-based"):
+            CrashPlan(count=0)
+
+    def test_round_trips_through_dict(self):
+        plan = CrashPlan.at_walker_pass(7)
+        assert CrashPlan.from_dict(plan.to_dict()) == plan
+
+    def test_sweep_plans_cover_every_stride(self):
+        plans = sweep_plans(total_events=10, every=3, event="store")
+        assert [p.count for p in plans] == [3, 6, 9]
+        assert all(p.event == "store" for p in plans)
+
+    def test_seeded_plans_are_reproducible(self):
+        a = seeded_plans(seed=9, points=20, total_events=500, events=CRASH_EVENTS)
+        b = seeded_plans(seed=9, points=20, total_events=500, events=CRASH_EVENTS)
+        assert a == b
+        assert len({(p.event, p.count) for p in a}) > 1
+
+
+class TestFaultInjector:
+    def test_probe_counts_without_firing(self):
+        injector = FaultInjector(None)
+        for _ in range(5):
+            injector.on_event("store", now=1)
+        injector.on_event("merge", now=2)
+        assert injector.event_totals() == {"store": 5, "merge": 1, "any": 6}
+        assert injector.fired is None
+
+    def test_fires_at_exactly_the_nth_matching_event(self):
+        injector = FaultInjector(CrashPlan(event="eviction", count=2))
+        injector.on_event("eviction", now=1)
+        injector.on_event("store", now=2)  # other streams don't count
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.on_event("eviction", now=3)
+        assert exc.value.event == "eviction"
+        assert exc.value.count == 2
+        assert exc.value.now == 3
+
+    def test_any_plan_counts_the_union_stream(self):
+        injector = FaultInjector(CrashPlan(event=ANY_EVENT, count=3))
+        injector.on_event("store", now=1)
+        injector.on_event("walker_pass", now=2)
+        with pytest.raises(SimulatedCrash):
+            injector.on_event("store", now=3)
+
+
+class TestMergeJournal:
+    def test_rollback_restores_empty_master(self):
+        omc = make_omc()
+        omc.insert_version(1, 1, 11, now=0)
+        omc.insert_version(2, 1, 12, now=0)
+        omc.begin_merge()
+        omc.merge_through(1, now=0)
+        assert omc.master.lookup(1) is not None
+        omc.rollback_merge()
+        assert omc.master.lookup(1) is None
+        assert omc.master.lookup(2) is None
+        assert omc.merged_through == 0
+        # The journalled state is fully reusable: the same merge can run
+        # again and commit.
+        omc.begin_merge()
+        omc.merge_through(1, now=0)
+        omc.commit_merge()
+        assert dict(omc.master_lines()) == {1: 11, 2: 12}
+
+    def test_rollback_restores_replaced_locations(self):
+        omc = make_omc()
+        omc.insert_version(1, 1, 11, now=0)
+        omc.begin_merge()
+        omc.merge_through(1, now=0)
+        omc.commit_merge()
+        omc.insert_version(1, 2, 21, now=0)
+        omc.begin_merge()
+        omc.merge_through(2, now=0)
+        omc.rollback_merge()
+        # The epoch-1 image is back, byte for byte.
+        assert dict(omc.master_lines()) == {1: 11}
+        assert omc.merged_through == 1
+        omc.begin_merge()
+        omc.merge_through(2, now=0)
+        omc.commit_merge()
+        assert dict(omc.master_lines()) == {1: 21}
+
+    def test_rollback_of_multi_epoch_merge(self):
+        omc = make_omc()
+        omc.insert_version(1, 1, 11, now=0)
+        omc.insert_version(1, 2, 21, now=0)
+        omc.begin_merge()
+        omc.merge_through(2, now=0)  # same line twice within one merge
+        omc.rollback_merge()
+        assert dict(omc.master_lines()) == {}
+        omc.begin_merge()
+        omc.merge_through(2, now=0)
+        omc.commit_merge()
+        assert dict(omc.master_lines()) == {1: 21}
+
+    def test_cluster_abort_rolls_back_only_active_merges(self):
+        cluster = make_cluster(num_omcs=2)
+        cluster.omcs[0].insert_version(1, 1, 11, now=0)
+        cluster.omcs[0].begin_merge()
+        cluster.omcs[0].merge_through(1, now=0)
+        assert cluster.abort_in_flight_merges() == 1
+        assert not cluster.omcs[0].merge_active
+        assert dict(cluster.omcs[0].master_lines()) == {}
+
+
+class TestStaleMinVerRegression:
+    """The satellite bugfix: pre-fix, ``update_min_ver`` blindly
+    overwrote the bound, so a walker report computed *before* a dirty
+    migration lowered the VD's min-ver would raise it right back —
+    letting rec-epoch run past a version that only exists in volatile
+    state."""
+
+    def test_stale_report_cannot_raise_past_lowered_bound(self):
+        cluster = make_cluster()
+        cluster.update_min_ver(1, 2, now=0)   # hold rec-epoch at 1
+        cluster.update_min_ver(0, 12, now=0)
+        assert cluster.rec_epoch == 1
+        seq = cluster.min_ver_seq(0)          # walker pass begins on VD 0
+        cluster.lower_min_ver(0, 5)           # dirty epoch-5 version migrates in
+        # The pass completes with the pre-migration bound: stale.
+        cluster.update_min_ver(0, 12, now=0, seq=seq)
+        assert cluster.min_vers[0] == 5
+        assert cluster.stats.get("omc.stale_min_ver_reports") == 1
+        # Even when the other VD catches up, rec-epoch must stop below
+        # the unpersisted epoch-5 version.
+        cluster.update_min_ver(1, 12, now=0)
+        assert cluster.rec_epoch == 4
+
+    def test_fresh_report_still_raises_the_bound(self):
+        cluster = make_cluster()
+        cluster.update_min_ver(1, 2, now=0)
+        seq = cluster.min_ver_seq(0)
+        cluster.update_min_ver(0, 12, now=0, seq=seq)
+        assert cluster.min_vers[0] == 12
+        assert cluster.stats.get("omc.stale_min_ver_reports") == 0
+
+    def test_authoritative_report_overwrites(self):
+        # seq=None (finalize's synchronous pass) may raise unconditionally.
+        cluster = make_cluster()
+        cluster.update_min_ver(1, 2, now=0)
+        cluster.lower_min_ver(0, 1)  # no-op lowering (already 1), seq unchanged
+        cluster.update_min_ver(0, 9, now=0)
+        assert cluster.min_vers[0] == 9
+
+
+class TestVerifyCrash:
+    def test_requires_nvoverlay(self):
+        spec = small_spec().with_changes(scheme="picl")
+        with pytest.raises(ValueError, match="nvoverlay"):
+            verify_crash(spec, None)
+
+    def test_probe_completes_and_matches(self):
+        v = verify_crash(small_spec(), None)
+        assert not v.crashed
+        assert v.ok
+        assert v.event_totals["any"] > 100
+        assert set(v.event_totals) - {"any"} <= set(CRASH_EVENTS)
+
+    def test_crash_mid_run_recovers_golden_image(self):
+        probe = verify_crash(small_spec(), None)
+        plan = CrashPlan(count=probe.event_totals["any"] // 2)
+        v = verify_crash(small_spec(), plan)
+        assert v.crashed
+        assert v.crash_event in CRASH_EVENTS
+        assert v.ok, v.mismatches
+        assert v.rec_epoch <= v.reported_rec_epoch
+
+    def test_merge_targeted_crash_rolls_back(self):
+        probe = verify_crash(small_spec(), None)
+        merges = probe.event_totals.get("merge", 0)
+        assert merges >= 2
+        for n in range(1, merges + 1):
+            v = verify_crash(small_spec(), CrashPlan.at_merge(n))
+            assert v.crashed and v.ok, (n, v.mismatches)
+
+    def test_buffer_write_crash_drains_battery_backed_buffer(self):
+        from repro.core import NVOverlayParams
+
+        params = NVOverlayParams(use_omc_buffer=True)
+        spec = small_spec(nvo_params=params)
+        probe = verify_crash(spec, None)
+        writes = probe.event_totals.get("buffer_write", 0)
+        assert writes > 0
+        v = verify_crash(spec, CrashPlan(event="buffer_write", count=writes // 2))
+        assert v.crashed
+        assert v.ok, v.mismatches
+
+
+class TestCrashSweepAcceptance:
+    """Drop power every K events across three workloads; ≥200 points."""
+
+    WORKLOADS = ("uniform", "btree", "kmeans")
+    POINTS_PER_WORKLOAD = 67
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_sweep_recovers_everywhere(self, workload):
+        from repro.faults import crash_sweep
+
+        probe = verify_crash(small_spec(workload), None)
+        total = probe.event_totals["any"]
+        every = max(1, total // self.POINTS_PER_WORKLOAD)
+        result = crash_sweep(
+            workload, config=SMALL, scale=0.05, every=every, cache=False,
+        )
+        assert len(result.points) >= self.POINTS_PER_WORKLOAD
+        assert result.ok, [
+            (p.plan.count, p.matches, p.frontier_ok) for p in result.failures
+        ]
+        crashed = [p for p in result.points if p.crashed]
+        # All but at most the final point (count == total fires on the
+        # very last event) actually crash mid-run.
+        assert len(crashed) >= len(result.points) - 1
+        assert all(p.rec_epoch >= 0 for p in result.points)
+
+    def test_acceptance_point_count(self):
+        # The three parametrized sweeps above cover at least this many
+        # distinct crash points in total.
+        assert self.POINTS_PER_WORKLOAD * len(self.WORKLOADS) >= 200

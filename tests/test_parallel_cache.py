@@ -12,6 +12,7 @@ import json
 import pytest
 
 from repro.core import NVOverlayParams
+from repro.faults import CrashPlan
 from repro.harness import (
     ParallelRunner,
     RunCache,
@@ -59,6 +60,7 @@ class TestRunSpec:
         ("seed", 2),
         ("capture_latency", True),
         ("capture_store_log", True),
+        ("crash_plan", CrashPlan(event="store", count=7)),
     ])
     def test_every_field_feeds_the_key(self, field, value):
         assert small_spec().cache_key() != small_spec(**{field: value}).cache_key()
@@ -137,6 +139,97 @@ class TestRunCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
         cache = RunCache()
         assert str(cache.directory) == str(tmp_path / "envcache")
+
+
+class TestCrashPlanCaching:
+    def test_crashed_and_clean_runs_get_distinct_entries(self, tmp_path):
+        cache = RunCache(tmp_path)
+        clean = small_spec(scheme="nvoverlay")
+        crashed = clean.with_changes(crash_plan=CrashPlan(event="store", count=50))
+        assert clean.cache_key() != crashed.cache_key()
+        run_one(clean, cache=cache)
+        record = run_one(crashed, cache=cache)
+        assert len(cache.entries()) == 2
+        assert record.extra["crashed"] == 1
+        assert record.extra["image_matches"] == 1
+        # The crashed entry round-trips through the cache like any other.
+        assert run_one(crashed, cache=cache) == record
+        assert cache.hits == 1
+
+    def test_crash_plan_spec_json_round_trip(self):
+        spec = small_spec(scheme="nvoverlay",
+                          crash_plan=CrashPlan(event="eviction", count=3))
+        rebuilt = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.crash_plan == spec.crash_plan
+        assert rebuilt.cache_key() == spec.cache_key()
+
+    def test_distinct_crash_counts_get_distinct_entries(self):
+        keys = {
+            small_spec(scheme="nvoverlay",
+                       crash_plan=CrashPlan(count=n)).cache_key()
+            for n in (1, 2, 3)
+        }
+        assert len(keys) == 3
+
+
+class TestCrossProcessCounters:
+    """Session counters stay per-process; ``.counters.json`` accumulates
+    lifetime totals across processes so ``cache info`` sees hits that
+    happened inside ``--jobs N`` workers (or any earlier invocation)."""
+
+    def test_add_counters_feeds_lifetime_totals_only(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.add_counters(hits=3, misses=1)
+        assert (cache.hits, cache.misses) == (0, 0)
+        cache.flush_counters()
+        fresh = RunCache(tmp_path)
+        info = fresh.info()
+        assert info["total_hits"] == 3 and info["total_misses"] == 1
+        assert info["hits"] == 0 and info["misses"] == 0
+
+    def test_run_one_persists_counters(self, tmp_path):
+        spec = small_spec()
+        run_one(spec, cache=RunCache(tmp_path))   # miss in one "process"
+        run_one(spec, cache=RunCache(tmp_path))   # hit in another
+        info = RunCache(tmp_path).info()
+        assert info["total_hits"] == 1 and info["total_misses"] == 1
+
+    def test_worker_payload_peeks_without_counting(self, tmp_path):
+        from repro.harness.parallel import _simulate_payload
+
+        spec = small_spec()
+        _, _, hit = _simulate_payload(spec.to_dict(), str(tmp_path))
+        assert hit is False  # simulated and wrote the entry itself
+        _, _, hit = _simulate_payload(spec.to_dict(), str(tmp_path))
+        assert hit is True
+        # Worker lookups use peek: lifetime totals stay with the parent,
+        # which folds the reported flags in via add_counters.
+        assert RunCache(tmp_path).info()["total_hits"] == 0
+
+    def test_pool_run_persists_lifetime_counters(self, tmp_path):
+        grid = TestParallelRunner.GRID
+        ParallelRunner(jobs=2, cache=RunCache(tmp_path)).run(grid)
+        info = RunCache(tmp_path).info()
+        assert info["total_misses"] == len(grid)
+        assert info["total_hits"] == 0
+        runner = ParallelRunner(jobs=2, cache=RunCache(tmp_path))
+        runner.run(grid)
+        assert runner.last_summary.all_cached
+        info = RunCache(tmp_path).info()
+        assert info["total_hits"] == len(grid)
+        assert info["total_misses"] == len(grid)
+
+    def test_counters_file_is_not_a_cache_entry(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_one(small_spec(), cache=cache)
+        assert len(cache.entries()) == 1
+        assert cache.info()["entries"] == 1
+
+    def test_clear_resets_lifetime_counters(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_one(small_spec(), cache=cache)
+        cache.clear()
+        assert RunCache(tmp_path).info()["total_misses"] == 0
 
 
 class TestParallelRunner:
@@ -290,9 +383,28 @@ class TestCLIIntegration:
                      "--scale", "0.02"]) == 0
         capsys.readouterr()
         assert main(["cache", "info"]) == 0
-        assert "entries:        1" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "entries:        1" in out
+        # Lifetime counters survive across processes: the run above was
+        # a miss, and this `cache info` process itself did no lookups.
+        assert "all-time hits:  0" in out
+        assert "all-time misses: 1" in out
         assert main(["cache", "clear"]) == 0
         assert "removed 1" in capsys.readouterr().out
+
+    def test_cache_info_counts_jobs_run_hits(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["experiment", "fig11", "--jobs", "2", "--scale", "0.05",
+                "--workloads", "uniform"]
+        assert main(argv) == 0
+        assert main(argv) == 0  # answered entirely from the cache
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "all-time hits:  7" in out  # ideal + six compared schemes
+        assert "all-time misses: 7" in out
 
     def test_no_cache_flag_bypasses(self, tmp_path, monkeypatch, capsys):
         from repro.cli import main
