@@ -9,6 +9,7 @@ Commands:
 * ``workloads``   — list registered workload names
 * ``trace``       — capture a workload's op stream to a trace file
 * ``cache``       — inspect (``info``) or empty (``clear``) the result cache
+* ``bench``       — time the simulator itself; track ``BENCH_sim_throughput.json``
 
 Simulating commands accept ``--jobs N`` (fan the experiment grid over a
 process pool) and ``--no-cache`` (bypass the on-disk result cache under
@@ -24,6 +25,8 @@ Examples::
     python -m repro crash-sweep --workload uniform --scale 0.1 --jobs 2
     python -m repro cache info
     python -m repro trace --workload art --scale 0.1 --out art.trace
+    python -m repro bench --quick --check
+    python -m repro bench --scenarios uniform_nvoverlay --profile 15
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import sys
 from typing import List, Optional
 
 from .harness import experiments, report
+from .harness.bench import REGRESSION_THRESHOLD as BENCH_REGRESSION_THRESHOLD
 from .harness.cache import RunCache
 from .harness.runner import SCHEMES, compare, run_one
 from .harness.spec import RunSpec
@@ -237,6 +241,61 @@ def _cmd_crash_sweep(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .harness import bench
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        results = bench.run_bench(names, quick=args.quick, repeats=args.repeats,
+                                  profile_frames=args.profile)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(report.format_table(
+        "simulator throughput" + (" (--quick)" if args.quick else ""),
+        ["ops_per_sec", "seconds", "per_op_us_p50", "per_op_us_p95"],
+        {
+            name: {
+                "ops_per_sec": r.ops_per_sec,
+                "seconds": r.seconds,
+                "per_op_us_p50": r.per_op_us_p50,
+                "per_op_us_p95": r.per_op_us_p95,
+            }
+            for name, r in results.items()
+        },
+    ))
+
+    path = Path(args.json) if args.json else bench.default_trajectory_path()
+    baseline = bench.baseline_entry(bench.load_trajectory(path),
+                                    quick=args.quick)
+    status = 0
+    if args.check:
+        failures = bench.check_regression(results, baseline,
+                                          threshold=args.threshold)
+        if baseline is None:
+            print(f"regression gate: skipped (no baseline for env "
+                  f"{bench.env_id()!r} in {path})", file=sys.stderr)
+        elif failures:
+            for name in failures:
+                base = baseline["results"][name]["ops_per_sec"]
+                print(
+                    f"REGRESSION {name}: {results[name].ops_per_sec:,.0f} "
+                    f"ops/s vs baseline {base:,.0f} "
+                    f"(threshold {args.threshold:.0%})",
+                    file=sys.stderr,
+                )
+            status = 1
+        else:
+            print(f"regression gate: OK vs {baseline['label']!r}",
+                  file=sys.stderr)
+    if not args.no_update:
+        bench.append_entry(path, results, label=args.label, quick=args.quick)
+        print(f"recorded entry in {path}", file=sys.stderr)
+    return status
+
+
 def _cmd_cache(args) -> int:
     cache = RunCache()
     if args.action == "info":
@@ -326,6 +385,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"])
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure simulator throughput (ops/sec per scenario)"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="scale scenarios down ~5x (CI smoke mode)")
+    p_bench.add_argument("--scenarios", default=None,
+                         help="comma-separated scenario subset")
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed repeats per scenario; best is kept")
+    p_bench.add_argument("--profile", type=int, default=0, metavar="N",
+                         help="also cProfile each scenario; print top N frames")
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="trajectory file (default: repo-root "
+                              "BENCH_sim_throughput.json)")
+    p_bench.add_argument("--label", default="manual run",
+                         help="label stored with the recorded entry")
+    p_bench.add_argument("--no-update", action="store_true",
+                         help="measure only; do not append to the trajectory")
+    p_bench.add_argument("--check", action="store_true",
+                         help="fail on ops/sec regression vs the last entry "
+                              "for this environment")
+    p_bench.add_argument("--threshold", type=float,
+                         default=BENCH_REGRESSION_THRESHOLD,
+                         help="regression threshold as a fraction "
+                              "(default 0.20)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

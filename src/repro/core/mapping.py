@@ -28,6 +28,8 @@ ENTRY_BYTES = 8
 UPPER_LEVEL_BITS = (9, 9, 9, 9)
 #: The master table's fifth level: bits 11..6, one entry per line.
 LEAF_LEVEL_BITS = 6
+_PAGE_LINE_SHIFT = PAGE_SHIFT - CACHE_LINE_SHIFT
+_PAGE_LINE_MASK = (1 << _PAGE_LINE_SHIFT) - 1
 
 
 class RadixTree:
@@ -44,22 +46,33 @@ class RadixTree:
         self.root: Dict[int, object] = {}
         self.nodes_per_level: List[int] = [1] + [0] * (len(level_bits) - 1)
         self.entries = 0
+        # Precomputed (shift, mask) per level, most-significant first:
+        # key decomposition is on every insert/lookup/remove path.
+        shift = 0
+        pairs = []
+        for bits in reversed(level_bits):
+            pairs.append((shift, (1 << bits) - 1))
+            shift += bits
+        self._total_bits = shift
+        self._shift_masks: Tuple[Tuple[int, int], ...] = tuple(reversed(pairs))
+        # Pre-split upper levels vs leaf: slicing per lookup allocates.
+        self._upper_shift_masks = self._shift_masks[:-1]
+        self._leaf_shift, self._leaf_mask = self._shift_masks[-1]
 
     def _indices(self, key: int) -> List[int]:
-        indices: List[int] = []
-        for bits in reversed(self.level_bits):
-            indices.append(key & ((1 << bits) - 1))
-            key >>= bits
-        if key:
-            raise ValueError(f"key has more bits than the tree covers")
-        return list(reversed(indices))
+        if key >> self._total_bits:
+            raise ValueError("key has more bits than the tree covers")
+        return [(key >> shift) & mask for shift, mask in self._shift_masks]
 
     def insert(self, key: int, value: object) -> Tuple[int, Optional[object]]:
         """Set ``key`` -> ``value``; returns (new_nodes, previous_value)."""
-        indices = self._indices(key)
+        if key >> self._total_bits:
+            raise ValueError("key has more bits than the tree covers")
         node = self.root
         new_nodes = 0
-        for depth, index in enumerate(indices[:-1]):
+        depth = 0
+        for shift, mask in self._upper_shift_masks:
+            index = (key >> shift) & mask
             child = node.get(index)
             if child is None:
                 child = {}
@@ -67,7 +80,8 @@ class RadixTree:
                 self.nodes_per_level[depth + 1] += 1
                 new_nodes += 1
             node = child  # type: ignore[assignment]
-        leaf_index = indices[-1]
+            depth += 1
+        leaf_index = (key >> self._leaf_shift) & self._leaf_mask
         previous = node.get(leaf_index)
         node[leaf_index] = value
         if previous is None:
@@ -75,13 +89,14 @@ class RadixTree:
         return new_nodes, previous
 
     def lookup(self, key: int) -> Optional[object]:
+        if key >> self._total_bits:
+            raise ValueError("key has more bits than the tree covers")
         node = self.root
-        for index in self._indices(key)[:-1]:
-            child = node.get(index)
-            if child is None:
+        for shift, mask in self._upper_shift_masks:
+            node = node.get((key >> shift) & mask)
+            if node is None:
                 return None
-            node = child  # type: ignore[assignment]
-        return node.get(self._indices(key)[-1])
+        return node.get((key >> self._leaf_shift) & self._leaf_mask)
 
     def remove(self, key: int) -> Optional[object]:
         """Unmap ``key``; returns the removed value, or None.
@@ -90,14 +105,14 @@ class RadixTree:
         merge-journal rollback, where the node footprint at crash time is
         what recovery inherits anyway.
         """
-        indices = self._indices(key)
+        if key >> self._total_bits:
+            raise ValueError("key has more bits than the tree covers")
         node = self.root
-        for index in indices[:-1]:
-            child = node.get(index)
-            if child is None:
+        for shift, mask in self._upper_shift_masks:
+            node = node.get((key >> shift) & mask)
+            if node is None:
                 return None
-            node = child  # type: ignore[assignment]
-        previous = node.pop(indices[-1], None)
+        previous = node.pop((key >> self._leaf_shift) & self._leaf_mask, None)
         if previous is not None:
             self.entries -= 1
         return previous
@@ -169,9 +184,7 @@ class EpochTable:
 
     @staticmethod
     def _split(line: int) -> Tuple[int, int]:
-        page = line >> (PAGE_SHIFT - CACHE_LINE_SHIFT)
-        offset = line & ((1 << (PAGE_SHIFT - CACHE_LINE_SHIFT)) - 1)
-        return page, offset
+        return line >> _PAGE_LINE_SHIFT, line & _PAGE_LINE_MASK
 
     def insert(self, line: int, location: VersionLocation) -> Optional[VersionLocation]:
         """Map a line's version; returns the location it replaces, if any."""

@@ -53,6 +53,11 @@ class OMC:
         self.id = omc_id
         self.nvm = nvm
         self.stats = stats
+        # Interned stat keys: _place_version runs once per write-back.
+        self._versions_key = f"omc{omc_id}.versions"
+        self._redundant_key = f"omc{omc_id}.redundant_versions"
+        # Direct ref into the counter dict (Stats.reset clears in place).
+        self._counters = stats._counters
         self.pool = PagePool(pool_pages, stats, name=f"omc{omc_id}.pool")
         #: Pages the "OS" grants per exhaustion exception (§V-D); zero
         #: propagates ``PoolExhaustedError`` to the caller instead.
@@ -117,14 +122,22 @@ class OMC:
         previous = table.insert(line, location)
         if previous is not None:
             # Redundant write-back within the epoch: the old slot is dead.
-            self.stats.inc(f"omc{self.id}.redundant_versions")
+            try:
+                self._counters[self._redundant_key] += 1
+            except KeyError:
+                self.stats.inc(self._redundant_key)
         self._pending_stall += self.nvm.write_background(
             line, CACHE_LINE_SIZE, now, "data"
         )
-        self.stats.inc(f"omc{self.id}.versions")
+        try:
+            self._counters[self._versions_key] += 1
+        except KeyError:
+            self.stats.inc(self._versions_key)
 
     def _subpage_with_room(self, epoch: int, page: int):
-        cursors = self._cursors.setdefault(epoch, {})
+        cursors = self._cursors.get(epoch)
+        if cursors is None:
+            cursors = self._cursors[epoch] = {}
         subpage = cursors.get(page)
         if subpage is not None and not subpage.full():  # type: ignore[union-attr]
             return subpage

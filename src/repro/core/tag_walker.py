@@ -45,6 +45,11 @@ class TagWalker:
         self._cursor = 0  # next L2 set to scan
         self._budget = 0.0  # fractional tags of accrued scan budget
         self._last_poll = 0
+        # L2 geometry, resolved once: poll() runs at every transaction
+        # boundary and should not chase vd.l2 attributes each time.
+        self._l2_ways = vd.l2._ways
+        self._l2_num_sets = vd.l2._num_sets
+        self._budget_cap = float(self._l2_num_sets * self._l2_ways)
         # Lowering sequence number sampled when the current pass began;
         # reported with the pass so the OMC can detect stale reports.
         self._pass_seq = cluster.min_ver_seq(vd.id)
@@ -59,27 +64,28 @@ class TagWalker:
             return
         self._last_poll = now
         self._budget += elapsed * self.rate / 1000.0
-        ways = self.vd.l2.geometry.ways
-        num_sets = self.vd.l2.geometry.num_sets
+        ways = self._l2_ways
+        num_sets = self._l2_num_sets
         # Cap one poll's work at a single full pass; budget beyond that
         # buys nothing (the walker would just re-observe the same tags).
         max_sets = min(int(self._budget // ways), num_sets)
-        for _ in range(max_sets):
-            self._budget -= ways
-            if self._cursor == 0:
-                self._pass_seq = self.cluster.min_ver_seq(self.vd.id)
-            self._scan_set(self._cursor, now)
-            self._cursor += 1
-            if self._cursor >= num_sets:
-                self._cursor = 0
-                self._complete_pass(now)
-        self._budget = min(self._budget, float(num_sets * ways))
+        if max_sets:
+            scan = self.hierarchy.walker_scan_set
+            vd = self.vd
+            for _ in range(max_sets):
+                self._budget -= ways
+                if self._cursor == 0:
+                    self._pass_seq = self.cluster.min_ver_seq(vd.id)
+                scan(vd, self._cursor, now)
+                self._cursor += 1
+                if self._cursor >= num_sets:
+                    self._cursor = 0
+                    self._complete_pass(now)
+        if self._budget > self._budget_cap:
+            self._budget = self._budget_cap
 
     def _scan_set(self, set_index: int, now: int) -> None:
-        self.stats.inc("walker.sets_scanned")
-        for entry in self.vd.l2.iter_set(set_index):
-            self.stats.inc("walker.tags_scanned")
-            self.hierarchy.walker_persist(self.vd, entry.line, now)
+        self.hierarchy.walker_scan_set(self.vd, set_index, now)
 
     def _complete_pass(self, now: int) -> None:
         """End of a full scan: compute and report min-ver (§V-B)."""

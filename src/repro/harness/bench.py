@@ -1,0 +1,348 @@
+"""Simulator-throughput benchmarking and the perf-trajectory file.
+
+The value of this reproduction is *experiments per hour*: every figure,
+sweep and crash-sweep funnels through the per-memory-op loop in
+``repro.sim.hierarchy``, so simulator throughput — not the harness —
+bounds cold-cache wall clock.  This module measures it, records it, and
+guards it:
+
+* :data:`SCENARIOS` — timed micro/macro scenarios (uniform, btree,
+  ycsb_a under nvoverlay and picl) run through the ordinary
+  ``Machine``/``make_workload`` path, serial, uncached.
+* :func:`run_bench` — ops/sec plus p50/p95 per-op wall cost (sampled
+  per transaction via ``time.perf_counter``), optionally with a cProfile
+  dump of the top hot frames.
+* :func:`load_trajectory` / :func:`append_entry` — the PR-over-PR
+  history in ``BENCH_sim_throughput.json`` at the repo root.  Entries
+  are keyed by an environment id (platform + python version, or
+  ``$REPRO_BENCH_ENV``) so numbers from different machines never gate
+  each other.
+* :func:`check_regression` — the CI gate: compare a fresh run against
+  the last committed entry for the same environment and fail on a
+  >20 % ops/sec drop.  With no matching baseline the gate is skipped.
+* :func:`run_fingerprint` — a byte-exact fingerprint (full stats dump,
+  final memory/NVM image, spec cache key) of one run, used by the
+  golden-parity tests to prove optimizations did not change semantics.
+
+``ops`` counts line-granular memory operations executed by the
+hierarchy (the ``l1.accesses`` counter), and the timed region includes
+lazy trace generation — that is the real cost of an experiment.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import json
+import os
+import platform
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..sim import Machine
+from ..workloads import make_workload
+from .runner import make_scheme
+from .spec import RunSpec
+
+#: Name of the trajectory file at the repo root.
+TRAJECTORY_FILENAME = "BENCH_sim_throughput.json"
+TRAJECTORY_SCHEMA = 1
+
+#: Default regression threshold: fail on >20 % ops/sec drop.
+REGRESSION_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One timed cell: a workload under a scheme at a fixed scale."""
+
+    name: str
+    workload: str
+    scheme: str
+    scale: float = 1.0
+    seed: int = 1
+    #: Scale multiplier applied in ``--quick`` mode.
+    quick_scale: float = 0.2
+
+    def spec(self, quick: bool = False) -> RunSpec:
+        scale = self.scale * (self.quick_scale if quick else 1.0)
+        return RunSpec(workload=self.workload, scheme=self.scheme,
+                       scale=scale, seed=self.seed)
+
+
+#: Micro (synthetic) and macro (data-structure) scenarios, paper pairing.
+SCENARIOS: Dict[str, BenchScenario] = {
+    s.name: s
+    for s in (
+        BenchScenario("uniform_nvoverlay", "uniform", "nvoverlay", 1.0),
+        BenchScenario("uniform_picl", "uniform", "picl", 1.0),
+        BenchScenario("btree_nvoverlay", "btree", "nvoverlay", 0.5),
+        BenchScenario("btree_picl", "btree", "picl", 0.5),
+        BenchScenario("ycsb_a_nvoverlay", "ycsb_a", "nvoverlay", 0.5),
+        BenchScenario("ycsb_a_picl", "ycsb_a", "picl", 0.5),
+    )
+}
+
+
+@dataclass
+class BenchResult:
+    """Throughput measurement of one scenario (best of ``repeats``)."""
+
+    name: str
+    ops: int
+    seconds: float
+    ops_per_sec: float
+    per_op_us_p50: float
+    per_op_us_p95: float
+    cycles: int
+    stores: int
+    transactions: int
+    repeats: int
+    all_seconds: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "seconds": round(self.seconds, 6),
+            "ops_per_sec": round(self.ops_per_sec, 1),
+            "per_op_us_p50": round(self.per_op_us_p50, 3),
+            "per_op_us_p95": round(self.per_op_us_p95, 3),
+            "cycles": self.cycles,
+            "stores": self.stores,
+            "transactions": self.transactions,
+            "repeats": self.repeats,
+            "all_seconds": [round(s, 6) for s in self.all_seconds],
+        }
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _build(spec: RunSpec, capture_txn_wall: bool) -> tuple:
+    config = spec.resolved_config
+    machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
+                      capture_txn_wall=capture_txn_wall)
+    workload = make_workload(spec.workload, num_threads=config.num_cores,
+                             scale=spec.scale, seed=spec.seed)
+    return machine, workload
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    quick: bool = False,
+    repeats: int = 3,
+    profile_frames: int = 0,
+) -> BenchResult:
+    """Time one scenario; the best repeat is the headline number.
+
+    Machine and workload construction are excluded from the timed
+    region; lazy trace generation (which interleaves with simulation)
+    is included.  With ``profile_frames`` > 0 an extra profiled run
+    prints the top hot frames to stderr (never timed).
+    """
+    spec = scenario.spec(quick)
+    seconds: List[float] = []
+    best: Optional[BenchResult] = None
+    for repeat in range(max(1, repeats)):
+        machine, workload = _build(spec, capture_txn_wall=True)
+        start = time.perf_counter()
+        result = machine.run(workload)
+        elapsed = time.perf_counter() - start
+        seconds.append(elapsed)
+        if best is not None and elapsed >= best.seconds:
+            continue
+        ops = machine.stats.get("l1.accesses")
+        samples = machine.txn_wall_samples or []
+        ops_per_txn = ops / max(1, result.transactions)
+        best = BenchResult(
+            name=scenario.name,
+            ops=ops,
+            seconds=elapsed,
+            ops_per_sec=ops / elapsed if elapsed > 0 else 0.0,
+            per_op_us_p50=_percentile(samples, 0.50) / ops_per_txn * 1e6,
+            per_op_us_p95=_percentile(samples, 0.95) / ops_per_txn * 1e6,
+            cycles=result.cycles,
+            stores=result.stores,
+            transactions=result.transactions,
+            repeats=max(1, repeats),
+        )
+    assert best is not None
+    best.all_seconds = seconds
+    if profile_frames > 0:
+        machine, workload = _build(spec, capture_txn_wall=False)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        machine.run(workload)
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf).sort_stats("tottime")
+        stats.print_stats(profile_frames)
+        print(f"--- profile: {scenario.name} ---", file=sys.stderr)
+        print(buf.getvalue(), file=sys.stderr)
+    return best
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: int = 3,
+    profile_frames: int = 0,
+) -> Dict[str, BenchResult]:
+    """Run the named scenarios (default: all) and return their results."""
+    selected = list(names) if names else list(SCENARIOS)
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown bench scenario(s) {unknown}; known: {known}")
+    return {
+        name: run_scenario(SCENARIOS[name], quick=quick, repeats=repeats,
+                           profile_frames=profile_frames)
+        for name in selected
+    }
+
+
+# --------------------------------------------------------------------------
+# Trajectory file (BENCH_sim_throughput.json)
+# --------------------------------------------------------------------------
+
+def env_id() -> str:
+    """Environment key baselines are matched on (never cross machines)."""
+    override = os.environ.get("REPRO_BENCH_ENV")
+    if override:
+        return override
+    return "{}-{}-py{}.{}".format(
+        platform.system(), platform.machine(),
+        sys.version_info.major, sys.version_info.minor,
+    )
+
+
+def default_trajectory_path() -> Path:
+    """``BENCH_sim_throughput.json`` at the repo root (cwd fallback)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / TRAJECTORY_FILENAME
+    return Path.cwd() / TRAJECTORY_FILENAME
+
+
+def load_trajectory(path: Path) -> Dict[str, Any]:
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    data = json.loads(path.read_text())
+    data.setdefault("schema", TRAJECTORY_SCHEMA)
+    data.setdefault("entries", [])
+    return data
+
+
+def append_entry(
+    path: Path,
+    results: Dict[str, BenchResult],
+    label: str,
+    quick: bool,
+    timestamp: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Append one measurement entry to the trajectory and rewrite it."""
+    data = load_trajectory(path)
+    entry = {
+        "label": label,
+        "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "env": env_id(),
+        "quick": quick,
+        "results": {name: result.to_dict() for name, result in results.items()},
+    }
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return entry
+
+
+def baseline_entry(
+    data: Dict[str, Any], env: Optional[str] = None, quick: Optional[bool] = None
+) -> Optional[Dict[str, Any]]:
+    """The most recent entry matching this environment (and quick flag)."""
+    env = env or env_id()
+    for entry in reversed(data.get("entries", [])):
+        if entry.get("env") != env:
+            continue
+        if quick is not None and bool(entry.get("quick")) != quick:
+            continue
+        return entry
+    return None
+
+
+def check_regression(
+    results: Dict[str, BenchResult],
+    baseline: Optional[Dict[str, Any]],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Scenario names whose ops/sec dropped more than ``threshold``.
+
+    A missing baseline (or a scenario absent from it) is never a
+    failure — the gate only engages once a comparable entry exists.
+    """
+    if baseline is None:
+        return []
+    failures = []
+    for name, result in results.items():
+        base = baseline.get("results", {}).get(name)
+        if not base:
+            continue
+        base_ops = base.get("ops_per_sec", 0.0)
+        if base_ops > 0 and result.ops_per_sec < (1.0 - threshold) * base_ops:
+            failures.append(name)
+    return failures
+
+
+# --------------------------------------------------------------------------
+# Golden-parity fingerprints
+# --------------------------------------------------------------------------
+
+def _sha(payload: Any) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_fingerprint(spec: RunSpec) -> Dict[str, Any]:
+    """Byte-exact fingerprint of one clean run.
+
+    Covers the full ``Stats`` counter dump, every time series, the final
+    working-memory image (data tokens *and* per-line OIDs), the
+    hierarchy's merged memory image (caches included) and the spec's
+    cache key.  Two implementations of the simulator are behaviorally
+    identical on ``spec`` iff these hashes match.
+    """
+    config = spec.resolved_config
+    machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params))
+    workload = make_workload(spec.workload, num_threads=config.num_cores,
+                             scale=spec.scale, seed=spec.seed)
+    result = machine.run(workload)
+    stats = machine.stats
+    counters = sorted(stats.counters().items())
+    series = {
+        name: stats.series(name)
+        for name in sorted(stats._series)  # noqa: SLF001 - full-dump parity
+    }
+    mem = machine.mem
+    mem_lines = sorted(
+        (line,) + tuple(mem.read_line(line)) for line in mem.touched_lines()
+    )
+    image = sorted(machine.hierarchy.memory_image().items())
+    return {
+        "spec_key": spec.cache_key(),
+        "cycles": result.cycles,
+        "stores": result.stores,
+        "transactions": result.transactions,
+        "stats_sha": _sha(counters),
+        "series_sha": _sha(series),
+        "mem_sha": _sha(mem_lines),
+        "image_sha": _sha(image),
+    }

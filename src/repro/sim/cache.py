@@ -67,46 +67,57 @@ class CacheArray:
         self.geometry = geometry
         self.name = name
         self.stats = stats
+        # Geometry derived values, resolved once: the per-access set
+        # decomposition must not recompute dataclass properties.
+        self._num_sets = geometry.num_sets
+        self._ways = geometry.ways
         self._sets: list[Dict[int, CacheLine]] = [
-            {} for _ in range(geometry.num_sets)
+            {} for _ in range(self._num_sets)
         ]
 
     # -- lookup ----------------------------------------------------------
     def _set_of(self, line: int) -> Dict[int, CacheLine]:
-        return self._sets[line % self.geometry.num_sets]
+        return self._sets[line % self._num_sets]
 
     def lookup(self, line: int, touch: bool = True) -> Optional[CacheLine]:
         """Find a line; ``touch`` refreshes its LRU recency."""
-        entry = self._set_of(line).get(line)
+        cache_set = self._sets[line % self._num_sets]
+        entry = cache_set.get(line)
         if entry is None:
             return None
         if touch:
-            cache_set = self._set_of(line)
             del cache_set[line]
             cache_set[line] = entry
         return entry
 
+    def probe(self, line: int) -> Optional[CacheLine]:
+        """Read-only lookup: never refreshes LRU recency.
+
+        For directory/snoop oracle reads and peer probes, where the
+        access models metadata inspection rather than a cache use.
+        """
+        return self._sets[line % self._num_sets].get(line)
+
     def contains(self, line: int) -> bool:
-        return line in self._set_of(line)
+        return line in self._sets[line % self._num_sets]
 
     # -- replacement -----------------------------------------------------
     def needs_victim(self, line: int) -> bool:
         """Would inserting ``line`` require evicting another line first?"""
-        cache_set = self._set_of(line)
-        return line not in cache_set and len(cache_set) >= self.geometry.ways
+        cache_set = self._sets[line % self._num_sets]
+        return line not in cache_set and len(cache_set) >= self._ways
 
     def choose_victim(self, line: int) -> CacheLine:
         """The LRU line of the set ``line`` maps to (not removed)."""
-        cache_set = self._set_of(line)
+        cache_set = self._sets[line % self._num_sets]
         if not cache_set:
             raise LookupError(f"{self.name}: empty set has no victim")
-        victim_key = next(iter(cache_set))
-        return cache_set[victim_key]
+        return cache_set[next(iter(cache_set))]
 
     def insert(self, line: int, state: MESI, oid: int, data: int) -> CacheLine:
         """Install (or overwrite) a line.  The set must have room."""
-        cache_set = self._set_of(line)
-        if line not in cache_set and len(cache_set) >= self.geometry.ways:
+        cache_set = self._sets[line % self._num_sets]
+        if line not in cache_set and len(cache_set) >= self._ways:
             raise RuntimeError(
                 f"{self.name}: insert of {line:#x} into a full set; evict first"
             )
@@ -116,7 +127,7 @@ class CacheArray:
         return entry
 
     def remove(self, line: int) -> Optional[CacheLine]:
-        return self._set_of(line).pop(line, None)
+        return self._sets[line % self._num_sets].pop(line, None)
 
     # -- iteration / accounting ------------------------------------------
     def iter_lines(self) -> Iterator[CacheLine]:
@@ -124,7 +135,7 @@ class CacheArray:
             yield from list(cache_set.values())
 
     def iter_set(self, set_index: int) -> Iterator[CacheLine]:
-        if not 0 <= set_index < self.geometry.num_sets:
+        if not 0 <= set_index < self._num_sets:
             raise IndexError(f"set index {set_index} out of range")
         yield from list(self._sets[set_index].values())
 
@@ -132,7 +143,10 @@ class CacheArray:
         return sum(len(s) for s in self._sets)
 
     def dirty_lines(self) -> Iterator[CacheLine]:
-        return (entry for entry in self.iter_lines() if entry.dirty)
+        for cache_set in self._sets:
+            for entry in list(cache_set.values()):
+                if entry.state >= MESI.M:  # M or O
+                    yield entry
 
     def clear(self) -> None:
         for cache_set in self._sets:

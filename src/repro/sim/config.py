@@ -13,6 +13,7 @@ published geometry for users with patience.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Optional, Tuple
 
 CACHE_LINE_SIZE = 64
@@ -74,11 +75,15 @@ class CacheGeometry:
                 f"{self.ways}-way sets of {CACHE_LINE_SIZE}B lines"
             )
 
-    @property
+    # cached_property on a frozen dataclass: the value lands in the
+    # instance __dict__ (not a field), so hashing/equality are unchanged
+    # but per-access recomputation — formerly visible in simulator
+    # profiles — happens once.
+    @cached_property
     def num_lines(self) -> int:
         return self.size_bytes // CACHE_LINE_SIZE
 
-    @property
+    @cached_property
     def num_sets(self) -> int:
         return self.num_lines // self.ways
 

@@ -27,6 +27,11 @@ class DRAM:
         # Outstanding-work queues, skew-tolerant like the NVM's (q.v.).
         self._backlog = [0] * config.dram_controllers
         self._last = [0] * config.dram_controllers
+        # Interned stat keys: access() sits on every working-memory miss.
+        self._read_keys = ("dram.reads", "dram.read_bytes")
+        self._write_keys = ("dram.writes", "dram.write_bytes")
+        # Direct ref into the counter dict (Stats.reset clears in place).
+        self._counters = stats._counters
 
     def _controller_of(self, line: int) -> int:
         # Hash address bits so strided patterns spread over controllers.
@@ -42,9 +47,16 @@ class DRAM:
             self._last[ctrl] = now
         queue_delay = self._backlog[ctrl]
         self._backlog[ctrl] += self.OCCUPANCY
-        kind = "write" if is_write else "read"
-        self.stats.inc(f"dram.{kind}s")
-        self.stats.inc(f"dram.{kind}_bytes", CACHE_LINE_SIZE)
+        count_key, bytes_key = self._write_keys if is_write else self._read_keys
+        counters = self._counters
+        try:
+            counters[count_key] += 1
+        except KeyError:
+            self.stats.inc(count_key)
+        try:
+            counters[bytes_key] += CACHE_LINE_SIZE
+        except KeyError:
+            self.stats.inc(bytes_key, CACHE_LINE_SIZE)
         return queue_delay + self.latency
 
     def read(self, line: int, now: int) -> int:

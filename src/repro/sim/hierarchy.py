@@ -31,10 +31,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from .cache import MESI, CacheArray, CacheLine
-from .config import CACHE_LINE_SIZE, SystemConfig
+from .config import CACHE_LINE_SHIFT, CACHE_LINE_SIZE, SystemConfig
 from .dram import DRAM
 from .interconnect import Interconnect
-from .memory import MainMemory, lines_touched
+from .memory import MainMemory
 from .nvm import NVM
 from .scheme import (
     REASON_CAPACITY,
@@ -45,7 +45,7 @@ from .scheme import (
     SnapshotScheme,
 )
 from .stats import Stats
-from .trace import MemOp
+from .trace import STORE, MemOp
 
 
 class DirEntry:
@@ -139,26 +139,114 @@ class Hierarchy:
         #: Optional capture of (line, epoch, token, vd) per committed store,
         #: used by tests to build golden snapshot images.
         self.store_log: Optional[List[Tuple[int, int, int, int]]] = None
+
+        # ---- hot-path acceleration state (caching only, no semantics) ----
+        # Interned per-slice stat keys so the inner loop never builds
+        # f-strings, resolved core->VD map, hoisted geometry latencies,
+        # and a bound Stats.inc — the per-access loop runs on locals.
+        slices = range(config.llc_slices)
+        self._llc_dir_access_key = [f"llc.{s}.dir_accesses" for s in slices]
+        self._llc_fill_key = [f"llc.{s}.fills" for s in slices]
+        self._llc_hit_key = [f"llc.{s}.hits" for s in slices]
+        self._llc_miss_key = [f"llc.{s}.misses" for s in slices]
+        self._evict_reason_key = {
+            reason: f"evict_reason.{reason}"
+            for reason in (REASON_CAPACITY, REASON_COHERENCE, REASON_OTHER,
+                           REASON_STORE_EVICT, REASON_TAG_WALK)
+        }
+        self._num_slices = config.llc_slices
+        self._l1_latency = config.l1_geometry.latency
+        self._l2_latency = config.l2_geometry.latency
+        self._llc_latency = config.llc_geometry.latency
+        self._core_vd: List[VDState] = [
+            self.vds[core // config.cores_per_vd]
+            for core in range(config.num_cores)
+        ]
+        self._inc = stats.inc
+        # The counter dict itself (Stats.reset clears it in place): the
+        # hottest sites inline Stats.inc's try/except body on it.
+        self._counters = stats._counters
+        self._mem_lines = mem._lines  # the line->(data, oid) dict itself
+        # All L1s share one geometry; peer probes index their set lists
+        # directly with a single shared set decomposition.
+        self._l1_num_sets = config.l1_geometry.num_sets
+        self._l2_num_sets = config.l2_geometry.num_sets
+        self._vd_l1_sets = [
+            [self.l1s[core]._sets for core in vd.core_ids] for vd in self.vds
+        ]
+        #: ``scheme.on_store`` bound only when the scheme overrides it —
+        #: the base no-op costs nothing instead of a call per store.
+        self._scheme_on_store = (
+            scheme.on_store
+            if type(scheme).on_store is not SnapshotScheme.on_store
+            else None
+        )
+        #: Same treatment for the eviction hooks (e.g. NVOverlay never
+        #: overrides them — eviction costs flow through the CST path).
+        self._scheme_on_l2_dirty_eviction = (
+            scheme.on_l2_dirty_eviction
+            if type(scheme).on_l2_dirty_eviction
+            is not SnapshotScheme.on_l2_dirty_eviction
+            else None
+        )
+        self._scheme_on_llc_dirty_eviction = (
+            scheme.on_llc_dirty_eviction
+            if type(scheme).on_llc_dirty_eviction
+            is not SnapshotScheme.on_llc_dirty_eviction
+            else None
+        )
         #: Optional crash-point injector (repro.faults); set by Machine.
-        self.fault_injector = None
+        #: Assigning it binds ``_fault_on_event`` once, so un-injected
+        #: runs never evaluate an injector guard in the commit path.
+        self._fault_injector = None
+        self._fault_on_event = None
+
+    @property
+    def fault_injector(self):
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._fault_injector = injector
+        self._fault_on_event = injector.on_event if injector is not None else None
 
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
     def vd_of_core(self, core_id: int) -> VDState:
-        return self.vds[core_id // self.config.cores_per_vd]
+        return self._core_vd[core_id]
 
     def slice_of(self, line: int) -> int:
-        return line % self.config.llc_slices
+        return line % self._num_slices
 
     def execute_op(self, core_id: int, op: MemOp, now: int) -> int:
         """Run one memory operation; returns its latency in cycles."""
-        total = 0
-        for line in lines_touched(op.addr, op.size):
-            if op.is_store:
+        return self.execute_access(core_id, op.addr, op.size, op.kind == STORE, now)
+
+    def execute_access(
+        self, core_id: int, addr: int, size: int, is_store: bool, now: int
+    ) -> int:
+        """Run one access given as plain fields; returns its latency.
+
+        The flat-tuple twin of :meth:`execute_op` — the runner feeds it
+        straight from workload access batches without building ``MemOp``
+        objects.  Single-line accesses (the overwhelmingly common case)
+        take a no-loop fast path.
+        """
+        first = addr >> CACHE_LINE_SHIFT
+        last = (addr + size - 1) >> CACHE_LINE_SHIFT
+        if is_store:
+            if first == last:
+                return self._store(core_id, first, now)
+            total = 0
+            for line in range(first, last + 1):
                 total += self._store(core_id, line, now + total)
-            else:
-                total += self._load(core_id, line, now + total)
+            return total
+        if first == last:
+            return self._load(core_id, first, now)
+        total = 0
+        for line in range(first, last + 1):
+            total += self._load(core_id, line, now + total)
         return total
 
     def epoch_due(self, vd: VDState) -> bool:
@@ -177,7 +265,7 @@ class Hierarchy:
         stall = self.config.epoch_advance_stall
         stall += self.scheme.on_epoch_advance(vd.id, old, new_epoch, now)
         vd.stall_until = max(vd.stall_until, now + stall)
-        self.stats.inc("epoch.advances")
+        self._inc("epoch.advances")
         return stall
 
     # ------------------------------------------------------------------
@@ -185,14 +273,29 @@ class Hierarchy:
     # ------------------------------------------------------------------
     def _load(self, core_id: int, line: int, now: int) -> int:
         l1 = self.l1s[core_id]
-        entry = l1.lookup(line)
-        latency = self.config.l1_geometry.latency
-        self.stats.inc("l1.accesses")
-        if entry is not None and entry.state != MESI.I:
-            self.stats.inc("l1.load_hits")
-            return latency
-        self.stats.inc("l1.load_misses")
-        vd = self.vd_of_core(core_id)
+        # Fused L1 hit fast path: one set-dict probe, an in-place LRU
+        # touch, two counter bumps.  Equivalent to lookup()+inc()+inc()
+        # but with no intermediate calls.  state truthiness == "not I".
+        cache_set = l1._sets[line % l1._num_sets]
+        entry = cache_set.get(line)
+        if entry is not None and entry.state:
+            del cache_set[line]
+            cache_set[line] = entry
+            counters = self._counters
+            try:
+                counters["l1.accesses"] += 1
+            except KeyError:
+                self._inc("l1.accesses")
+            try:
+                counters["l1.load_hits"] += 1
+            except KeyError:
+                self._inc("l1.load_hits")
+            return self._l1_latency
+        inc = self._inc
+        inc("l1.accesses")
+        inc("l1.load_misses")
+        latency = self._l1_latency
+        vd = self._core_vd[core_id]
         fill_latency, data, oid, state = self._vd_fill(
             vd, core_id, line, for_store=False, now=now + latency
         )
@@ -205,13 +308,31 @@ class Hierarchy:
     # ------------------------------------------------------------------
     def _store(self, core_id: int, line: int, now: int) -> int:
         l1 = self.l1s[core_id]
-        vd = self.vd_of_core(core_id)
-        entry = l1.lookup(line)
-        latency = self.config.l1_geometry.latency
-        self.stats.inc("l1.accesses")
+        # Fused L1 exclusive-hit fast path (E or M: state >= 2; L1 lines
+        # are never O): probe + in-place LRU touch + counters + commit.
+        cache_set = l1._sets[line % l1._num_sets]
+        entry = cache_set.get(line)
+        if entry is not None and entry.state >= MESI.E:
+            del cache_set[line]
+            cache_set[line] = entry
+            counters = self._counters
+            try:
+                counters["l1.accesses"] += 1
+            except KeyError:
+                self._inc("l1.accesses")
+            try:
+                counters["l1.store_hits"] += 1
+            except KeyError:
+                self._inc("l1.store_hits")
+            latency = self._l1_latency
+            vd = self._core_vd[core_id]
+            return latency + self._commit_store(vd, core_id, entry, now + latency)
 
+        vd = self._core_vd[core_id]
+        latency = self._l1_latency
+        self._inc("l1.accesses")
         if entry is None or entry.state == MESI.I:
-            self.stats.inc("l1.store_misses")
+            self._inc("l1.store_misses")
             fill_latency, data, oid, _state = self._vd_fill(
                 vd, core_id, line, for_store=True, now=now + latency
             )
@@ -219,13 +340,14 @@ class Hierarchy:
             # Exclusive permission granted; install clean-exclusive and let
             # the common commit path below handle versioning.
             entry = self._l1_install(core_id, line, MESI.E, oid, data, now + latency)
-        elif entry.state == MESI.S:
-            self.stats.inc("l1.store_upgrades")
+        else:  # MESI.S
+            # The seed path LRU-touched the line before upgrading.
+            del cache_set[line]
+            cache_set[line] = entry
+            self._inc("l1.store_upgrades")
             latency += self._upgrade_for_store(vd, core_id, line, now + latency)
             entry = l1.lookup(line)
             assert entry is not None
-        else:
-            self.stats.inc("l1.store_hits")
 
         latency += self._commit_store(vd, core_id, entry, now + latency)
         return latency
@@ -234,27 +356,41 @@ class Hierarchy:
         self, vd: VDState, core_id: int, entry: CacheLine, now: int
     ) -> int:
         """Write into an L1 line we have exclusive permission for."""
-        extra = self.scheme.on_store(core_id, vd.id, entry.line, entry.oid, now)
-        epoch = vd.cur_epoch if self.versioned else 0
-        if self.versioned and entry.dirty and entry.oid != epoch:
-            # Immutable older version: store-eviction (Fig. 4) pushes it to
-            # the L2 without invalidating, then the store happens in place.
-            assert entry.oid < epoch, "version from the future survived sync"
-            self.stats.inc("cst.store_evictions")
-            self._l2_putx(vd, entry.line, entry.data, entry.oid, now)
-        self._token += 1
-        entry.data = self._token
+        on_store = self._scheme_on_store
+        extra = (
+            on_store(core_id, vd.id, entry.line, entry.oid, now)
+            if on_store is not None
+            else 0
+        )
+        if self.versioned:
+            epoch = vd.cur_epoch
+            if entry.oid != epoch and entry.state >= MESI.M:
+                # Immutable older version: store-eviction (Fig. 4) pushes
+                # it to the L2 without invalidating, then the store
+                # happens in place.
+                assert entry.oid < epoch, "version from the future survived sync"
+                self._inc("cst.store_evictions")
+                self._l2_putx(vd, entry.line, entry.data, entry.oid, now)
+        else:
+            epoch = 0
+        token = self._token + 1
+        self._token = token
+        entry.data = token
         entry.oid = epoch
         entry.state = MESI.M
         vd.store_count += 1
         vd.total_stores += 1
-        self.stats.inc("stores")
+        try:
+            self._counters["stores"] += 1
+        except KeyError:
+            self._inc("stores")
         if self.store_log is not None:
-            self.store_log.append((entry.line, epoch, self._token, vd.id))
-        if self.fault_injector is not None:
+            self.store_log.append((entry.line, epoch, token, vd.id))
+        fault_hook = self._fault_on_event
+        if fault_hook is not None:
             # The store has committed (and hit the log): a crash here is
             # "power lost with the new value still volatile in L1".
-            self.fault_injector.on_event("store", now)
+            fault_hook("store", now)
         return extra
 
     def _upgrade_for_store(self, vd: VDState, core_id: int, line: int, now: int) -> int:
@@ -282,7 +418,7 @@ class Hierarchy:
         """Full GETX for a shared line whose dirty owner is another VD."""
         latency, data, oid, dirty = self._inter_getx(vd, line, now)
         latency += self._epoch_sync(vd, oid, now + latency)
-        l2_entry = vd.l2.lookup(line, touch=False)
+        l2_entry = vd.l2.probe(line)
         if l2_entry is not None:
             l2_entry.data, l2_entry.oid = data, oid
             l2_entry.state = MESI.M if dirty else MESI.E
@@ -290,7 +426,7 @@ class Hierarchy:
             latency += self._install_l2(
                 vd, line, data, oid, for_store=True, now=now + latency, dirty=dirty
             )
-        l1_entry = self.l1s[core_id].lookup(line, touch=False)
+        l1_entry = self.l1s[core_id].probe(line)
         if l1_entry is not None:
             l1_entry.data, l1_entry.oid = data, oid
             l1_entry.state = MESI.E
@@ -299,23 +435,29 @@ class Hierarchy:
     def _inter_getx_permission_only(self, vd: VDState, line: int, now: int) -> int:
         """Upgrade a shared line to owned: data already present locally."""
         latency = self._request_latency(vd, line)
-        slice_id = self.slice_of(line)
-        self.stats.inc(f"llc.{slice_id}.dir_accesses")
-        dentry = self._dir_lookup_or_create(line, now)
+        slice_id = line % self._num_slices
+        dir_key = self._llc_dir_access_key[slice_id]
+        try:
+            self._counters[dir_key] += 1
+        except KeyError:
+            self._inc(dir_key)
+        dentry = self._dir.get(line)
+        if dentry is None:
+            dentry = self._dir_lookup_or_create(line, now)
         for other_id in sorted(dentry.holders() - {vd.id}):
             latency += self._invalidate_vd(self.vds[other_id], line, now + latency)
         # The LLC data copy goes stale once the upgrading VD writes; a
         # dirty copy (e.g. from an earlier downgrade) either settles into
         # working memory (CST: already persisted) or hands its dirty
         # obligation to the upgrading VD's L2 (baseline: stays on-chip).
-        llc_entry = self.llc[slice_id].lookup(line, touch=False)
+        llc_entry = self.llc[slice_id].probe(line)
         if llc_entry is not None:
-            if llc_entry.dirty:
+            if llc_entry.state >= MESI.M:
                 if self.versioned:
                     self._working_writeback(line, now + latency)
                     self._memory_update(line, llc_entry.data, llc_entry.oid)
                 else:
-                    l2_entry = vd.l2.lookup(line, touch=False)
+                    l2_entry = vd.l2.probe(line)
                     if l2_entry is not None:
                         l2_entry.state = MESI.M
                     else:  # pragma: no cover - S-holder always has L2 copy
@@ -336,15 +478,27 @@ class Hierarchy:
 
         Returns (latency, data, oid, l1_state_to_install).
         """
-        latency = self.config.l2_geometry.latency
-        self.stats.inc("l2.accesses")
-        l2_entry = vd.l2.lookup(line)
+        latency = self._l2_latency
+        counters = self._counters
+        try:
+            counters["l2.accesses"] += 1
+        except KeyError:
+            self._inc("l2.accesses")
+        l2 = vd.l2
+        l2_cache_set = l2._sets[line % l2._num_sets]
+        l2_entry = l2_cache_set.get(line)
+        if l2_entry is not None:  # LRU touch (lookup(touch=True))
+            del l2_cache_set[line]
+            l2_cache_set[line] = l2_entry
         dentry = self._dir.get(line)
         vd_owns = dentry is not None and dentry.owner == vd.id
         vd_shares = dentry is not None and vd.id in dentry.sharers
 
         if l2_entry is not None and (vd_owns or vd_shares):
-            self.stats.inc("l2.hits")
+            try:
+                counters["l2.hits"] += 1
+            except KeyError:
+                self._inc("l2.hits")
             # Serve locally.  A peer L1 may hold a newer dirty copy.
             peer = self._find_l1_dirty_peer(vd, line, exclude_core=core_id)
             if peer is not None:
@@ -364,7 +518,7 @@ class Hierarchy:
                         latency += self._getx_from_remote_owner(
                             vd, core_id, line, now + latency
                         )
-                        l2_entry = vd.l2.lookup(line, touch=False)
+                        l2_entry = vd.l2.probe(line)
                         assert l2_entry is not None
                     else:
                         latency += self._inter_getx_permission_only(
@@ -381,7 +535,10 @@ class Hierarchy:
                 state = MESI.E if exclusive else MESI.S
             return latency, l2_entry.data, l2_entry.oid, state
 
-        self.stats.inc("l2.misses")
+        try:
+            counters["l2.misses"] += 1
+        except KeyError:
+            self._inc("l2.misses")
         # Inter-VD request through the directory.
         if for_store:
             net_latency, data, oid, dirty = self._inter_getx(vd, line, now + latency)
@@ -389,7 +546,9 @@ class Hierarchy:
         else:
             net_latency, data, oid = self._inter_gets(vd, line, now + latency)
             dirty = False
-            dentry = self._dir_lookup_or_create(line, now)
+            dentry = self._dir.get(line)
+            if dentry is None:
+                dentry = self._dir_lookup_or_create(line, now)
             state = MESI.E if dentry.owner == vd.id else MESI.S
         latency += net_latency
         latency += self._epoch_sync(vd, oid, now + latency)
@@ -399,20 +558,24 @@ class Hierarchy:
     def _find_l1_dirty_peer(
         self, vd: VDState, line: int, exclude_core: Optional[int]
     ) -> Optional[int]:
+        l1s = self.l1s
+        set_index = line % self._l1_num_sets
         for core in vd.core_ids:
             if core == exclude_core:
                 continue
-            entry = self.l1s[core].lookup(line, touch=False)
-            if entry is not None and entry.dirty:
+            entry = l1s[core]._sets[set_index].get(line)
+            if entry is not None and entry.state >= MESI.M:  # M or O
                 return core
         return None
 
     def _any_l1_holds(self, vd: VDState, line: int, exclude_core: Optional[int]) -> bool:
+        l1s = self.l1s
+        set_index = line % self._l1_num_sets
         for core in vd.core_ids:
             if core == exclude_core:
                 continue
-            entry = self.l1s[core].lookup(line, touch=False)
-            if entry is not None and entry.state != MESI.I:
+            entry = l1s[core]._sets[set_index].get(line)
+            if entry is not None and entry.state:  # not I
                 return True
         return False
 
@@ -420,15 +583,15 @@ class Hierarchy:
         self, vd: VDState, core_id: int, line: int, invalidate: bool, now: int
     ) -> int:
         """Pull a (possibly dirty) L1 copy down into the L2 (Figs. 7/8)."""
-        l1 = self.l1s[core_id]
-        entry = l1.lookup(line, touch=False)
+        cache_set = self.l1s[core_id]._sets[line % self._l1_num_sets]
+        entry = cache_set.get(line)
         if entry is None:
             return 0
-        latency = self.config.l2_geometry.latency
-        if entry.dirty:
+        latency = self._l2_latency
+        if entry.state >= MESI.M:
             self._l2_putx(vd, line, entry.data, entry.oid, now)
         if invalidate:
-            l1.remove(line)
+            del cache_set[line]
         else:
             entry.state = MESI.S
         return latency
@@ -436,16 +599,18 @@ class Hierarchy:
     def _invalidate_vd_l1s(
         self, vd: VDState, line: int, exclude_core: Optional[int], now: int
     ) -> None:
+        l1s = self.l1s
+        set_index = line % self._l1_num_sets
         for core in vd.core_ids:
             if core == exclude_core:
                 continue
-            l1 = self.l1s[core]
-            entry = l1.lookup(line, touch=False)
+            cache_set = l1s[core]._sets[set_index]
+            entry = cache_set.get(line)
             if entry is None:
                 continue
-            if entry.dirty:
+            if entry.state >= MESI.M:  # M or O
                 self._l2_putx(vd, line, entry.data, entry.oid, now)
-            l1.remove(line)
+            del cache_set[line]
 
     # ------------------------------------------------------------------
     # L1/L2 installs and the version-aware PUTX rule
@@ -453,16 +618,29 @@ class Hierarchy:
     def _l1_install(
         self, core_id: int, line: int, state: MESI, oid: int, data: int, now: int
     ) -> CacheLine:
+        # Fused needs_victim/choose_victim/remove/insert on the raw set
+        # dict: one set resolution and no CacheArray calls on the hot path.
         l1 = self.l1s[core_id]
-        if l1.needs_victim(line):
-            victim = l1.choose_victim(line)
-            if victim.dirty:
+        cache_set = l1._sets[line % self._l1_num_sets]
+        if line not in cache_set and len(cache_set) >= l1._ways:
+            victim = cache_set[next(iter(cache_set))]
+            if victim.state >= MESI.M:
                 vd = self.vd_of_core(core_id)
-                self.stats.inc("l1.dirty_evictions")
+                try:
+                    self._counters["l1.dirty_evictions"] += 1
+                except KeyError:
+                    self._inc("l1.dirty_evictions")
                 self._l2_putx(vd, victim.line, victim.data, victim.oid, now)
-            l1.remove(victim.line)
-            self.stats.inc("l1.evictions")
-        return l1.insert(line, state, oid, data)
+            del cache_set[victim.line]
+            try:
+                self._counters["l1.evictions"] += 1
+            except KeyError:
+                self._inc("l1.evictions")
+        else:
+            cache_set.pop(line, None)
+        entry = CacheLine(line, state, oid, data)
+        cache_set[line] = entry
+        return entry
 
     def _l2_putx(self, vd: VDState, line: int, data: int, oid: int, now: int) -> None:
         """L1 write-back into the inclusive L2, honouring version order.
@@ -471,9 +649,14 @@ class Hierarchy:
         first evicted to the OMC so it is not overwritten (Fig. 4c).  The
         L2 copy then takes the incoming data and OID.
         """
-        entry = vd.l2.lookup(line)
+        l2 = vd.l2
+        cache_set = l2._sets[line % l2._num_sets]
+        entry = cache_set.get(line)
         assert entry is not None, "inclusion violated: L1 write-back missed in L2"
-        if self.versioned and entry.dirty and entry.oid < oid:
+        # LRU touch, as the unfused lookup(touch=True) did.
+        del cache_set[line]
+        cache_set[line] = entry
+        if self.versioned and entry.state >= MESI.M and entry.oid < oid:
             self._version_writeback(
                 vd, entry.line, entry.data, entry.oid, REASON_STORE_EVICT,
                 to_llc=False, now=now,
@@ -499,15 +682,23 @@ class Hierarchy:
         sole remaining copy of that version keeps its obligation to be
         written back (to the OMC under CST, to the LLC otherwise).
         """
-        latency = self._ensure_l2_room(vd, line, now)
+        # Fused room-check/probe/insert on the raw set dict.  The victim
+        # eviction never touches ``line`` itself, so probing up front is
+        # equivalent to the unfused probe-after-evict order.
+        l2 = vd.l2
+        cache_set = l2._sets[line % l2._num_sets]
+        existing = cache_set.get(line)
+        latency = 0
+        if existing is None and len(cache_set) >= l2._ways:
+            victim = cache_set[next(iter(cache_set))]
+            latency = self._evict_l2_entry(vd, victim, REASON_CAPACITY, now)
         if dirty:
             state = MESI.M
         elif for_store:
             state = MESI.E
         else:
             state = self._l2_fill_state(vd, line)
-        existing = vd.l2.lookup(line, touch=False)
-        if existing is not None and existing.dirty:
+        if existing is not None and existing.state >= MESI.M:
             # Keep a dirty version rather than downgrading it to a fill.
             if self.versioned and existing.oid < oid:
                 self._version_writeback(
@@ -518,7 +709,8 @@ class Hierarchy:
                 if dirty:
                     existing.state = MESI.M
             return latency
-        vd.l2.insert(line, state, oid, data)
+        cache_set.pop(line, None)
+        cache_set[line] = CacheLine(line, state, oid, data)
         return latency
 
     def _l2_fill_state(self, vd: VDState, line: int) -> MESI:
@@ -526,9 +718,11 @@ class Hierarchy:
         return MESI.E if dentry is not None and dentry.owner == vd.id else MESI.S
 
     def _ensure_l2_room(self, vd: VDState, line: int, now: int) -> int:
-        if not vd.l2.needs_victim(line):
+        l2 = vd.l2
+        cache_set = l2._sets[line % l2._num_sets]
+        if line in cache_set or len(cache_set) < l2._ways:
             return 0
-        victim = vd.l2.choose_victim(line)
+        victim = cache_set[next(iter(cache_set))]
         return self._evict_l2_entry(vd, victim, REASON_CAPACITY, now)
 
     # ------------------------------------------------------------------
@@ -536,32 +730,40 @@ class Hierarchy:
     # ------------------------------------------------------------------
     def _evict_l2_entry(self, vd: VDState, entry: CacheLine, reason: str, now: int) -> int:
         """Evict an L2 line: recall L1 copies, write back, update directory."""
-        if self.fault_injector is not None:
-            self.fault_injector.on_event("eviction", now)
+        fault_hook = self._fault_on_event
+        if fault_hook is not None:
+            fault_hook("eviction", now)
         line = entry.line
         latency = 0
         # Inclusive L2: member L1 copies must go.  Dirty L1 data merges
         # into the L2 entry first (possibly pushing an older L2 version
         # out to the OMC via the PUTX rule).
         self._invalidate_vd_l1s(vd, line, exclude_core=None, now=now)
-        entry = vd.l2.lookup(line, touch=False)
+        l2_set = vd.l2._sets[line % vd.l2._num_sets]
+        entry = l2_set.get(line)
         assert entry is not None
-        if entry.dirty:
-            self.stats.inc("l2.dirty_evictions")
+        if entry.state >= MESI.M:
+            try:
+                self._counters["l2.dirty_evictions"] += 1
+            except KeyError:
+                self._inc("l2.dirty_evictions")
             if self.versioned:
                 latency += self._version_writeback(
                     vd, line, entry.data, entry.oid, reason, to_llc=True, now=now
                 )
             else:
                 latency += self._llc_insert(line, entry.data, entry.oid, dirty=True, now=now)
-                latency += self.scheme.on_l2_dirty_eviction(
-                    vd.id, line, entry.oid, entry.data, reason, now
-                )
+                hook = self._scheme_on_l2_dirty_eviction
+                if hook is not None:
+                    latency += hook(vd.id, line, entry.oid, entry.data, reason, now)
         else:
             # Clean victim: keep a copy in the non-inclusive LLC.
             latency += self._llc_insert(line, entry.data, entry.oid, dirty=False, now=now)
-        vd.l2.remove(line)
-        self.stats.inc("l2.evictions")
+        del l2_set[line]
+        try:
+            self._counters["l2.evictions"] += 1
+        except KeyError:
+            self._inc("l2.evictions")
         dentry = self._dir.get(line)
         if dentry is not None:
             dentry.sharers.discard(vd.id)
@@ -583,8 +785,18 @@ class Hierarchy:
     ) -> int:
         """Send a version to the OMC (bypassing the LLC, §IV-A2)."""
         latency = self.net.vd_to_omc(vd.id)
-        self.stats.inc("cst.version_writebacks")
-        self.stats.inc(f"evict_reason.{reason}")
+        counters = self._counters
+        try:
+            counters["cst.version_writebacks"] += 1
+        except KeyError:
+            self._inc("cst.version_writebacks")
+        key = self._evict_reason_key.get(reason)
+        if key is None:
+            key = f"evict_reason.{reason}"
+        try:
+            counters[key] += 1
+        except KeyError:
+            self._inc(key)
         latency += self.scheme.on_version_writeback(vd.id, line, oid, data, reason, now)
         # The OMC logically serves as the memory controller (§V): once a
         # version is persisted it is the newest servable copy of the
@@ -600,31 +812,43 @@ class Hierarchy:
         return self.llc[self.slice_of(line)].contains(line)
 
     def _llc_insert(self, line: int, data: int, oid: int, dirty: bool, now: int) -> int:
-        slice_id = self.slice_of(line)
+        slice_id = line % self._num_slices
         array = self.llc[slice_id]
-        latency = self.config.llc_geometry.latency
-        self.stats.inc(f"llc.{slice_id}.fills")
-        existing = array.lookup(line, touch=False)
+        latency = self._llc_latency
+        fill_key = self._llc_fill_key[slice_id]
+        try:
+            self._counters[fill_key] += 1
+        except KeyError:
+            self._inc(fill_key)
+        cache_set = array._sets[line % array._num_sets]
+        existing = cache_set.get(line)
         if existing is not None:
-            dirty = dirty or existing.dirty
-        elif array.needs_victim(line):
+            dirty = dirty or existing.state >= MESI.M
+        elif len(cache_set) >= array._ways:
             latency += self._evict_llc_victim(array, line, now)
-        state = MESI.M if dirty else MESI.S
-        array.insert(line, state, oid, data)
+        cache_set.pop(line, None)
+        cache_set[line] = CacheLine(line, MESI.M if dirty else MESI.S, oid, data)
         return latency
 
     def _evict_llc_victim(self, array: CacheArray, incoming: int, now: int) -> int:
-        victim = array.choose_victim(incoming)
+        cache_set = array._sets[incoming % array._num_sets]
+        victim = cache_set[next(iter(cache_set))]
         latency = 0
-        if victim.dirty:
-            self.stats.inc("llc.dirty_evictions")
+        if victim.state >= MESI.M:
+            try:
+                self._counters["llc.dirty_evictions"] += 1
+            except KeyError:
+                self._inc("llc.dirty_evictions")
             self._working_writeback(victim.line, now)
             self._memory_update(victim.line, victim.data, victim.oid)
-            latency += self.scheme.on_llc_dirty_eviction(
-                victim.line, victim.oid, victim.data, now
-            )
-        array.remove(victim.line)
-        self.stats.inc("llc.evictions")
+            hook = self._scheme_on_llc_dirty_eviction
+            if hook is not None:
+                latency += hook(victim.line, victim.oid, victim.data, now)
+        del cache_set[victim.line]
+        try:
+            self._counters["llc.evictions"] += 1
+        except KeyError:
+            self._inc("llc.evictions")
         dentry = self._dir.get(victim.line)
         if dentry is not None and dentry.is_empty():
             self._dir_del(victim.line)
@@ -632,22 +856,23 @@ class Hierarchy:
 
     def _memory_update(self, line: int, data: int, oid: int) -> None:
         """Working memory keeps the most recent version + its OID (§IV-A4)."""
-        current_data, current_oid = self.mem.read_line(line)
-        if oid >= current_oid:
-            self.mem.set_line(line, data, oid)
+        lines = self._mem_lines
+        current = lines.get(line)
+        if current is None or oid >= current[1]:
+            lines[line] = (data, oid)
 
     def _working_read(self, line: int, now: int) -> int:
         """Latency of fetching a line from working memory."""
         if self.working_nvm:
             return self.nvm.read(line, now)
-        return self.dram.read(line, now)
+        return self.dram.access(line, now, False)
 
     def _working_writeback(self, line: int, now: int) -> None:
         """Posted write-back of a line to working memory."""
         if self.working_nvm:
             self.nvm.write_background(line, CACHE_LINE_SIZE, now, "working")
         else:
-            self.dram.write(line, now)
+            self.dram.access(line, now, True)
 
     # ------------------------------------------------------------------
     # Directory storage (finite capacity with back-invalidation)
@@ -665,7 +890,7 @@ class Hierarchy:
         ):
             victim = next(iter(tracked))
             self._dir_back_invalidate(victim, now)
-            self.stats.inc("dir.back_invalidations")
+            self._inc("dir.back_invalidations")
         dentry = DirEntry()
         self._dir[line] = dentry
         tracked[line] = None
@@ -687,7 +912,7 @@ class Hierarchy:
             return
         if dentry.owner is not None:
             owner = self.vds[dentry.owner]
-            entry = owner.l2.lookup(line, touch=False)
+            entry = owner.l2.probe(line)
             if entry is not None:
                 self._evict_l2_entry(owner, entry, REASON_COHERENCE, now)
         for sharer_id in sorted(dentry.sharers):
@@ -703,7 +928,7 @@ class Hierarchy:
             return self.net.snoop_broadcast(self.config.num_vds)
         return (
             self.net.vd_to_llc(vd.id, self.slice_of(line))
-            + self.config.llc_geometry.latency
+            + self._llc_latency
         )
 
     def _forward_latency(self, vd: VDState, owner: VDState) -> int:
@@ -716,16 +941,25 @@ class Hierarchy:
 
     def _inter_gets(self, vd: VDState, line: int, now: int) -> Tuple[int, int, int]:
         """GETS at the directory; returns (latency, data, oid=RV)."""
-        latency = self._request_latency(vd, line)
-        slice_id = self.slice_of(line)
-        self.stats.inc(f"llc.{slice_id}.dir_accesses")
-        dentry = self._dir_lookup_or_create(line, now)
+        slice_id = line % self._num_slices
+        if self.snoop:
+            latency = self.net.snoop_broadcast(self.config.num_vds)
+        else:
+            latency = self.net.vd_to_llc(vd.id, slice_id) + self._llc_latency
+        dir_key = self._llc_dir_access_key[slice_id]
+        try:
+            self._counters[dir_key] += 1
+        except KeyError:
+            self._inc(dir_key)
+        dentry = self._dir.get(line)
+        if dentry is None:
+            dentry = self._dir_lookup_or_create(line, now)
 
         if dentry.owner is not None and dentry.owner != vd.id:
             owner = self.vds[dentry.owner]
             latency += self._forward_latency(vd, owner)
             data, oid = self._downgrade_owner(owner, line, now + latency)
-            owner_entry = owner.l2.lookup(line, touch=False)
+            owner_entry = owner.l2.probe(line)
             if (
                 self.moesi
                 and owner_entry is not None
@@ -741,10 +975,17 @@ class Hierarchy:
             return latency, data, oid
 
         array = self.llc[slice_id]
-        llc_entry = array.lookup(line)
+        llc_set = array._sets[line % array._num_sets]
+        llc_entry = llc_set.get(line)
         if llc_entry is not None:
-            self.stats.inc(f"llc.{slice_id}.hits")
-            if dentry.is_empty() and not llc_entry.dirty:
+            del llc_set[line]  # LRU touch (lookup(touch=True))
+            llc_set[line] = llc_entry
+            hit_key = self._llc_hit_key[slice_id]
+            try:
+                self._counters[hit_key] += 1
+            except KeyError:
+                self._inc(hit_key)
+            if dentry.is_empty() and not llc_entry.state >= MESI.M:
                 dentry.owner = vd.id
             else:
                 dentry.sharers.add(vd.id)
@@ -758,7 +999,11 @@ class Hierarchy:
                     data, oid = mem_data, mem_oid
             return latency, data, oid
 
-        self.stats.inc(f"llc.{slice_id}.misses")
+        miss_key = self._llc_miss_key[slice_id]
+        try:
+            self._counters[miss_key] += 1
+        except KeyError:
+            self._inc(miss_key)
         data, oid = self.mem.read_line(line)
         latency += self._working_read(line, now + latency)
         if dentry.is_empty():
@@ -769,10 +1014,19 @@ class Hierarchy:
 
     def _inter_getx(self, vd: VDState, line: int, now: int) -> Tuple[int, int, int, bool]:
         """GETX at the directory; returns (latency, data, oid=RV, dirty)."""
-        latency = self._request_latency(vd, line)
-        slice_id = self.slice_of(line)
-        self.stats.inc(f"llc.{slice_id}.dir_accesses")
-        dentry = self._dir_lookup_or_create(line, now)
+        slice_id = line % self._num_slices
+        if self.snoop:
+            latency = self.net.snoop_broadcast(self.config.num_vds)
+        else:
+            latency = self.net.vd_to_llc(vd.id, slice_id) + self._llc_latency
+        dir_key = self._llc_dir_access_key[slice_id]
+        try:
+            self._counters[dir_key] += 1
+        except KeyError:
+            self._inc(dir_key)
+        dentry = self._dir.get(line)
+        if dentry is None:
+            dentry = self._dir_lookup_or_create(line, now)
 
         data: Optional[int] = None
         oid = 0
@@ -791,14 +1045,22 @@ class Hierarchy:
                     self.scheme.on_version_migrate(owner.id, vd.id, line, oid, now)
                 # The LLC's copy (if any) is now stale.
                 self.llc[slice_id].remove(line)
-        for sharer_id in sorted(dentry.sharers - {vd.id}):
-            latency += self._invalidate_vd(self.vds[sharer_id], line, now + latency)
+        if dentry.sharers:
+            for sharer_id in sorted(dentry.sharers - {vd.id}):
+                latency += self._invalidate_vd(self.vds[sharer_id], line, now + latency)
 
         if data is None:
             array = self.llc[slice_id]
-            llc_entry = array.lookup(line)
+            llc_set = array._sets[line % array._num_sets]
+            llc_entry = llc_set.get(line)
             if llc_entry is not None:
-                self.stats.inc(f"llc.{slice_id}.hits")
+                del llc_set[line]  # LRU touch (lookup(touch=True))
+                llc_set[line] = llc_entry
+                hit_key = self._llc_hit_key[slice_id]
+                try:
+                    self._counters[hit_key] += 1
+                except KeyError:
+                    self._inc(hit_key)
                 data, oid = llc_entry.data, llc_entry.oid
                 # Exclusive ownership moves up and the LLC copy becomes
                 # stale.  A dirty copy's handling differs by mode: under
@@ -807,20 +1069,24 @@ class Hierarchy:
                 # dirty obligation travels up with the line — it stays
                 # on-chip, which is exactly the inclusive-LLC advantage
                 # PiCL-style schemes rely on.
-                if llc_entry.dirty:
+                if llc_entry.state >= MESI.M:
                     if self.versioned:
                         self._working_writeback(line, now + latency)
                         self._memory_update(line, llc_entry.data, llc_entry.oid)
                     else:
                         dirty = True
-                array.remove(line)
+                del llc_set[line]
                 if self.versioned:
                     # The working copy may be newer (see _inter_gets).
                     mem_data, mem_oid = self.mem.read_line(line)
                     if mem_oid > oid:
                         data, oid = mem_data, mem_oid
             else:
-                self.stats.inc(f"llc.{slice_id}.misses")
+                miss_key = self._llc_miss_key[slice_id]
+                try:
+                    self._counters[miss_key] += 1
+                except KeyError:
+                    self._inc(miss_key)
                 data, oid = self.mem.read_line(line)
                 latency += self._working_read(line, now + latency)
 
@@ -839,13 +1105,13 @@ class Hierarchy:
         peer = self._find_l1_dirty_peer(owner, line, exclude_core=None)
         if peer is not None:
             self._recall_l1_copy(owner, peer, line, invalidate=False, now=now)
-        entry = owner.l2.lookup(line, touch=False)
+        entry = owner.l2.probe(line)
         assert entry is not None, "directory says owner but L2 has no copy"
         self._downgrade_vd_l1s(owner, line, now)
-        if entry.dirty:
-            self.stats.inc("cst.load_downgrades" if self.versioned else "l2.downgrades")
+        if entry.state >= MESI.M:
+            self._inc("cst.load_downgrades" if self.versioned else "l2.downgrades")
             if self.moesi:
-                self.stats.inc("coh.owned_downgrades")
+                self._inc("coh.owned_downgrades")
                 entry.state = MESI.O
                 return entry.data, entry.oid
             if self.versioned:
@@ -865,7 +1131,7 @@ class Hierarchy:
 
     def _downgrade_vd_l1s(self, vd: VDState, line: int, now: int) -> None:
         for core in vd.core_ids:
-            entry = self.l1s[core].lookup(line, touch=False)
+            entry = self.l1s[core].probe(line)
             if entry is not None and entry.state != MESI.I:
                 entry.state = MESI.S
 
@@ -885,21 +1151,21 @@ class Hierarchy:
             # Merges the L1 version into the L2, pushing an older dirty L2
             # version to the OMC if OIDs differ (the two-evictions case).
             self._recall_l1_copy(owner, peer, line, invalidate=True, now=now)
-        entry = owner.l2.lookup(line, touch=False)
+        entry = owner.l2.probe(line)
         assert entry is not None, "directory says owner but L2 has no copy"
         self._invalidate_vd_l1s(owner, line, exclude_core=None, now=now)
-        if entry.dirty:
-            self.stats.inc("coh.c2c_transfers")
-        transfer = (entry.data, entry.oid, entry.dirty)
+        if entry.state >= MESI.M:
+            self._inc("coh.c2c_transfers")
+        transfer = (entry.data, entry.oid, entry.state >= MESI.M)
         owner.l2.remove(line)
         return transfer
 
     def _invalidate_vd(self, vd: VDState, line: int, now: int) -> int:
         """Invalidate a clean sharer VD (its copies are persisted already)."""
-        entry = vd.l2.lookup(line, touch=False)
+        entry = vd.l2.probe(line)
         self._invalidate_vd_l1s(vd, line, exclude_core=None, now=now)
         if entry is not None:
-            assert not entry.dirty, "sharer VD holds dirty data"
+            assert not entry.state >= MESI.M, "sharer VD holds dirty data"
             vd.l2.remove(line)
         return self.net.llc_to_vd(self.slice_of(line), vd.id)
 
@@ -909,7 +1175,7 @@ class Hierarchy:
     def _epoch_sync(self, vd: VDState, rv: int, now: int) -> int:
         if not self.versioned or rv <= vd.cur_epoch:
             return 0
-        self.stats.inc("epoch.coherence_syncs")
+        self._inc("epoch.coherence_syncs")
         return self.advance_epoch(vd, rv, now)
 
     # ------------------------------------------------------------------
@@ -928,9 +1194,21 @@ class Hierarchy:
         return found
 
     def min_dirty_oid(self, vd: VDState) -> int:
-        """Smallest OID among the VD's dirty versions, or cur-epoch."""
-        oids = [e.oid for e in self.dirty_versions_in_vd(vd)]
-        return min(oids, default=vd.cur_epoch)
+        """Smallest OID among the VD's dirty versions, or cur-epoch.
+
+        Runs once per completed walker pass over every set of the L2 and
+        member L1s; iterates the set dicts directly (read-only).
+        """
+        dirty_floor = MESI.M
+        arrays = [vd.l2] + [self.l1s[core] for core in vd.core_ids]
+        dirty_oids = [
+            entry.oid
+            for array in arrays
+            for cache_set in array._sets
+            for entry in cache_set.values()
+            if entry.state >= dirty_floor
+        ]
+        return min(dirty_oids) if dirty_oids else vd.cur_epoch
 
     def walker_persist(self, vd: VDState, line: int, now: int) -> int:
         """Tag-walker visit (§IV-C): persist a line's old dirty versions.
@@ -943,13 +1221,13 @@ class Hierarchy:
         persisted = 0
         peer = self._find_l1_dirty_peer(vd, line, exclude_core=None)
         if peer is not None:
-            l1_entry = self.l1s[peer].lookup(line, touch=False)
+            l1_entry = self.l1s[peer].probe(line)
             assert l1_entry is not None
             if l1_entry.oid < vd.cur_epoch:
                 self._l2_putx(vd, line, l1_entry.data, l1_entry.oid, now)
                 l1_entry.state = MESI.E
-        entry = vd.l2.lookup(line, touch=False)
-        if entry is not None and entry.dirty and entry.oid < vd.cur_epoch:
+        entry = vd.l2.probe(line)
+        if entry is not None and entry.state >= MESI.M and entry.oid < vd.cur_epoch:
             self._version_writeback(
                 vd, line, entry.data, entry.oid, REASON_TAG_WALK,
                 to_llc=False, now=now,
@@ -958,6 +1236,96 @@ class Hierarchy:
             entry.state = MESI.S if entry.state == MESI.O else MESI.E
             persisted += 1
         return persisted
+
+    def walker_scan_set(self, vd: VDState, set_index: int, now: int) -> None:
+        """One tag-walker set scan: ``walker_persist`` fused over a set.
+
+        Behaviorally identical to calling :meth:`walker_persist` per
+        resident tag (with the walker's per-tag counter bump), but the
+        peer probe and the L2 entry re-check run inline on the held
+        entry objects instead of re-resolving the line each time.
+        """
+        counters = self._counters
+        try:
+            counters["walker.sets_scanned"] += 1
+        except KeyError:
+            self._inc("walker.sets_scanned")
+        l2_set = vd.l2._sets[set_index]
+        if not l2_set:
+            return
+        entries = list(l2_set.values())
+        # Bulk tag-counter bump: no observation point (stats dump or
+        # fault-injection hook) can fire inside a single set scan.
+        try:
+            counters["walker.tags_scanned"] += len(entries)
+        except KeyError:
+            self._inc("walker.tags_scanned", len(entries))
+        l1_sets = self._vd_l1_sets[vd.id]
+        l1_num_sets = self._l1_num_sets
+        # cur_epoch cannot advance mid-scan: nothing reachable from the
+        # scan runs the epoch-advance protocol.
+        cur_epoch = vd.cur_epoch
+        dirty_floor = MESI.M
+        if self._l2_num_sets % l1_num_sets == 0:
+            # Every line of this L2 set maps to the same L1 set, so the
+            # dirty L1 peers (first in core order, the walker_persist
+            # rule) can be gathered once instead of probed per tag.
+            # Nothing reachable from the scan dirties an L1 line, so the
+            # up-front gather sees the same peers the per-tag probes did.
+            l1_index = set_index % l1_num_sets
+            peers: Optional[Dict[int, CacheLine]] = None
+            for sets in l1_sets:
+                for peer_line, peer in sets[l1_index].items():
+                    if peer.state >= dirty_floor and (
+                        peers is None or peer_line not in peers
+                    ):
+                        if peers is None:
+                            peers = {}
+                        peers[peer_line] = peer
+            if peers is None:
+                for entry in entries:
+                    if entry.state >= dirty_floor and entry.oid < cur_epoch:
+                        self._version_writeback(
+                            vd, entry.line, entry.data, entry.oid,
+                            REASON_TAG_WALK, to_llc=False, now=now,
+                        )
+                        entry.state = MESI.S if entry.state == MESI.O else MESI.E
+                return
+            for entry in entries:
+                line = entry.line
+                peer = peers.get(line)
+                if peer is not None and peer.oid < cur_epoch:
+                    # _l2_putx mutates this same L2 entry in place (and
+                    # LRU-touches it), exactly as the unfused path did
+                    # before its re-lookup.
+                    self._l2_putx(vd, line, peer.data, peer.oid, now)
+                    peer.state = MESI.E
+                if entry.state >= dirty_floor and entry.oid < cur_epoch:
+                    self._version_writeback(
+                        vd, line, entry.data, entry.oid, REASON_TAG_WALK,
+                        to_llc=False, now=now,
+                    )
+                    # O (dirty-shared) drops to S: other VDs hold copies.
+                    entry.state = MESI.S if entry.state == MESI.O else MESI.E
+            return
+        for entry in entries:
+            line = entry.line
+            l1_index = line % l1_num_sets
+            # First dirty L1 peer, in core order (walker_persist rule).
+            for sets in l1_sets:
+                peer = sets[l1_index].get(line)
+                if peer is not None and peer.state >= dirty_floor:
+                    if peer.oid < cur_epoch:
+                        self._l2_putx(vd, line, peer.data, peer.oid, now)
+                        peer.state = MESI.E
+                    break
+            if entry.state >= dirty_floor and entry.oid < cur_epoch:
+                self._version_writeback(
+                    vd, line, entry.data, entry.oid, REASON_TAG_WALK,
+                    to_llc=False, now=now,
+                )
+                # O (dirty-shared) drops to S: other VDs hold copies.
+                entry.state = MESI.S if entry.state == MESI.O else MESI.E
 
     def flush_vd(self, vd: VDState, now: int, reason: str = REASON_OTHER) -> int:
         """Persist every dirty version in a VD, leaving lines clean.
@@ -1005,14 +1373,14 @@ class Hierarchy:
         image = self.mem.image()
         for array in self.llc:
             for entry in array.iter_lines():
-                if entry.dirty:
+                if entry.state >= MESI.M:
                     image[entry.line] = entry.data
         for vd in self.vds:
             for entry in vd.l2.iter_lines():
-                if entry.dirty:
+                if entry.state >= MESI.M:
                     image[entry.line] = entry.data
         for l1 in self.l1s:
             for entry in l1.iter_lines():
-                if entry.dirty:
+                if entry.state >= MESI.M:
                     image[entry.line] = entry.data
         return image

@@ -30,6 +30,10 @@ class Interconnect:
     def __init__(self, config: SystemConfig, stats: Stats) -> None:
         self.hop = config.interconnect_hop_latency
         self.stats = stats
+        # Direct ref into the counter dict: message-count bumps are on the
+        # per-miss path.  Safe because Stats.reset() clears it in place.
+        self._counters = stats._counters
+        self._inc = stats.inc
         self.num_sockets = config.num_sockets
         self.penalty = config.socket_hop_penalty * self.hop
         self._vds_per_socket = max(1, config.num_vds // config.num_sockets)
@@ -44,20 +48,29 @@ class Interconnect:
 
     def _cross(self, socket_a: int, socket_b: int) -> int:
         if self.num_sockets > 1 and socket_a != socket_b:
-            self.stats.inc("net.cross_socket_msgs")
+            try:
+                self._counters["net.cross_socket_msgs"] += 1
+            except KeyError:
+                self._inc("net.cross_socket_msgs")
             return self.penalty
         return 0
 
     # -- message costs ------------------------------------------------------
     def vd_to_llc(self, vd_id: Optional[int] = None, slice_id: Optional[int] = None) -> int:
-        self.stats.inc("net.vd_llc_msgs")
+        try:
+            self._counters["net.vd_llc_msgs"] += 1
+        except KeyError:
+            self._inc("net.vd_llc_msgs")
         latency = self.hop
         if vd_id is not None and slice_id is not None:
             latency += self._cross(self.socket_of_vd(vd_id), self.socket_of_slice(slice_id))
         return latency
 
     def llc_to_vd(self, slice_id: Optional[int] = None, vd_id: Optional[int] = None) -> int:
-        self.stats.inc("net.llc_vd_msgs")
+        try:
+            self._counters["net.llc_vd_msgs"] += 1
+        except KeyError:
+            self._inc("net.llc_vd_msgs")
         latency = self.hop
         if vd_id is not None and slice_id is not None:
             latency += self._cross(self.socket_of_slice(slice_id), self.socket_of_vd(vd_id))
@@ -67,7 +80,10 @@ class Interconnect:
         self, from_vd: Optional[int] = None, to_vd: Optional[int] = None
     ) -> int:
         """Request forwarded through the LLC directory to a peer VD."""
-        self.stats.inc("net.forwarded_msgs")
+        try:
+            self._counters["net.forwarded_msgs"] += 1
+        except KeyError:
+            self._inc("net.forwarded_msgs")
         latency = 2 * self.hop
         if from_vd is not None and to_vd is not None:
             latency += self._cross(self.socket_of_vd(from_vd), self.socket_of_vd(to_vd))
@@ -77,7 +93,10 @@ class Interconnect:
         self, from_vd: Optional[int] = None, to_vd: Optional[int] = None
     ) -> int:
         """Direct point-to-point transfer between peer caches."""
-        self.stats.inc("net.c2c_msgs")
+        try:
+            self._counters["net.c2c_msgs"] += 1
+        except KeyError:
+            self._inc("net.c2c_msgs")
         latency = self.hop
         if from_vd is not None and to_vd is not None:
             latency += self._cross(self.socket_of_vd(from_vd), self.socket_of_vd(to_vd))
@@ -85,7 +104,10 @@ class Interconnect:
 
     def vd_to_omc(self, vd_id: Optional[int] = None) -> int:
         """LLC-bypass path used for version write-backs (§IV-A2)."""
-        self.stats.inc("net.omc_msgs")
+        try:
+            self._counters["net.omc_msgs"] += 1
+        except KeyError:
+            self._inc("net.omc_msgs")
         return self.hop
 
     def snoop_broadcast(self, num_vds: int) -> int:

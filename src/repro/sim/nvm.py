@@ -52,6 +52,19 @@ class NVM:
         self._backlog = [0] * self.num_banks
         self._last = [0] * self.num_banks
         self.wear = WearTracker()
+        # Interned stat keys — _account runs on every NVM write.
+        self._category_keys = {
+            cat: (f"{name}.writes.{cat}", f"{name}.bytes.{cat}")
+            for cat in WRITE_CATEGORIES
+        }
+        self._bytes_total_key = f"{name}.bytes.total"
+        self._bandwidth_key = f"{name}.bandwidth"
+        self._sync_writes_key = f"{name}.sync_writes"
+        self._reads_key = f"{name}.reads"
+        self._bp_stalls_key = f"{name}.backpressure_stalls"
+        self._bp_cycles_key = f"{name}.backpressure_cycles"
+        # Direct ref into the counter dict (Stats.reset clears in place).
+        self._counters = stats._counters
 
     # -- helpers ---------------------------------------------------------
     def _bank_of(self, line: int) -> int:
@@ -76,14 +89,26 @@ class NVM:
     def _account(
         self, line: int, category: str, nbytes: int, completion: int
     ) -> None:
-        if category not in WRITE_CATEGORIES:
-            raise ValueError(f"unknown NVM write category {category!r}")
+        try:
+            writes_key, bytes_key = self._category_keys[category]
+        except KeyError:
+            raise ValueError(f"unknown NVM write category {category!r}") from None
         self.wear.record(line, nbytes)
-        self.stats.inc(f"{self.name}.writes.{category}")
-        self.stats.inc(f"{self.name}.bytes.{category}", nbytes)
-        self.stats.inc(f"{self.name}.bytes.total", nbytes)
+        counters = self._counters
+        try:
+            counters[writes_key] += 1
+        except KeyError:
+            self.stats.inc(writes_key)
+        try:
+            counters[bytes_key] += nbytes
+        except KeyError:
+            self.stats.inc(bytes_key, nbytes)
+        try:
+            counters[self._bytes_total_key] += nbytes
+        except KeyError:
+            self.stats.inc(self._bytes_total_key, nbytes)
         self.stats.record_series(
-            f"{self.name}.bandwidth", completion, nbytes, self.bandwidth_bucket
+            self._bandwidth_key, completion, nbytes, self.bandwidth_bucket
         )
 
     # -- write paths -----------------------------------------------------
@@ -91,7 +116,7 @@ class NVM:
         """Persistence-barrier write: caller stalls until durable."""
         queue_delay, completion = self._occupy(line, nbytes, now)
         self._account(line, category, nbytes, completion)
-        self.stats.inc(f"{self.name}.sync_writes")
+        self.stats.inc(self._sync_writes_key)
         return completion - now
 
     def write_background(self, line: int, nbytes: int, now: int, category: str) -> int:
@@ -100,8 +125,8 @@ class NVM:
         self._account(line, category, nbytes, completion)
         if queue_delay > self.backpressure:
             stall = queue_delay - self.backpressure
-            self.stats.inc(f"{self.name}.backpressure_stalls")
-            self.stats.inc(f"{self.name}.backpressure_cycles", stall)
+            self.stats.inc(self._bp_stalls_key)
+            self.stats.inc(self._bp_cycles_key, stall)
             return stall
         return 0
 
@@ -114,7 +139,7 @@ class NVM:
             self._last[bank] = now
         queue_delay = self._backlog[bank]
         self._backlog[bank] += self.bank_occupancy
-        self.stats.inc(f"{self.name}.reads")
+        self.stats.inc(self._reads_key)
         return queue_delay + self.read_latency
 
     def quiesce(self, now: int = 0) -> None:

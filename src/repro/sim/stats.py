@@ -6,6 +6,14 @@ Components register named counters under dotted scopes (``"l2.0.miss"``,
 latency distributions — how persistence barriers stretch the tail).
 Keeping all measurement in one place means the harness can diff two runs
 without knowing which component produced which number.
+
+Counters are a plain dict on the ``inc`` fast path (``try/except
+KeyError`` registration is free in the common case), and prefix queries
+(``counters(prefix)`` / ``total(prefix)``) go through a lazily-built
+prefix index instead of scanning every key — the report renderer calls
+them once per table cell.  The index holds key lists only; values are
+always read fresh from the counter dict, and any new-key registration
+invalidates it.
 """
 
 from __future__ import annotations
@@ -18,7 +26,10 @@ class Stats:
     """A flat registry of counters, time series and histograms."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = defaultdict(int)
+        self._counters: Dict[str, int] = {}
+        # prefix -> list of counter names under it; rebuilt on demand,
+        # dropped whenever a counter name is first registered.
+        self._prefix_index: Dict[str, List[str]] = {}
         self._series: Dict[str, Dict[int, int]] = defaultdict(
             lambda: defaultdict(int)
         )
@@ -31,23 +42,39 @@ class Stats:
 
     # -- counters --------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
-        self._counters[name] += amount
+        try:
+            self._counters[name] += amount
+        except KeyError:
+            self._counters[name] = amount
+            if self._prefix_index:
+                self._prefix_index.clear()
 
     def set(self, name: str, value: int) -> None:
+        if name not in self._counters and self._prefix_index:
+            self._prefix_index.clear()
         self._counters[name] = value
 
     def get(self, name: str, default: int = 0) -> int:
         return self._counters.get(name, default)
 
+    def _prefix_keys(self, prefix: str) -> List[str]:
+        keys = self._prefix_index.get(prefix)
+        if keys is None:
+            keys = [k for k in self._counters if k.startswith(prefix)]
+            self._prefix_index[prefix] = keys
+        return keys
+
     def counters(self, prefix: str = "") -> Dict[str, int]:
         """All counters whose name starts with ``prefix``."""
         if not prefix:
             return dict(self._counters)
-        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+        counters = self._counters
+        return {k: counters[k] for k in self._prefix_keys(prefix)}
 
     def total(self, prefix: str) -> int:
         """Sum of all counters under a prefix (e.g. per-slice totals)."""
-        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+        counters = self._counters
+        return sum(counters[k] for k in self._prefix_keys(prefix))
 
     # -- time series -----------------------------------------------------
     def record_series(self, name: str, time: int, amount: int, bucket: int) -> None:
@@ -103,7 +130,7 @@ class Stats:
     # -- maintenance -----------------------------------------------------
     def merge(self, other: "Stats") -> None:
         for key, value in other._counters.items():
-            self._counters[key] += value
+            self.inc(key, value)
         for name, data in other._series.items():
             self._series_bucket[name] = other._series_bucket[name]
             dest = self._series[name]
@@ -116,6 +143,7 @@ class Stats:
 
     def reset(self) -> None:
         self._counters.clear()
+        self._prefix_index.clear()
         self._series.clear()
         self._series_bucket.clear()
         self._histograms.clear()

@@ -12,8 +12,9 @@ experiments (VDs genuinely skew when their threads progress unevenly).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .config import SystemConfig
 from .dram import DRAM
@@ -23,6 +24,7 @@ from .memory import MainMemory
 from .nvm import NVM
 from .scheme import NoSnapshot, SnapshotScheme
 from .stats import Stats
+from .trace import access_stream
 
 
 @dataclass
@@ -49,6 +51,7 @@ class Machine:
         scheme: Optional[SnapshotScheme] = None,
         capture_store_log: bool = False,
         capture_latency: bool = False,
+        capture_txn_wall: bool = False,
         fault_injector=None,
     ) -> None:
         self.config = config or SystemConfig()
@@ -72,6 +75,12 @@ class Machine:
         #: Record a per-operation latency histogram ("op_latency" /
         #: "txn_latency") — opt-in, it costs a few percent of runtime.
         self.capture_latency = capture_latency
+        #: Sample wall-clock seconds per transaction (``repro bench``
+        #: p50/p95 per-op cost).  None unless requested: the run loop
+        #: never touches ``time.perf_counter`` when disabled.
+        self.txn_wall_samples: Optional[List[float]] = (
+            [] if capture_txn_wall else None
+        )
         self._global_stall_until = 0
         self.scheme.attach(self)
 
@@ -96,7 +105,7 @@ class Machine:
                 f"workload has {num_threads} threads but the machine only "
                 f"has {self.config.num_cores} cores"
             )
-        streams = {tid: workload.transactions(tid) for tid in range(num_threads)}
+        streams = {tid: access_stream(workload, tid) for tid in range(num_threads)}
         clocks = {tid: 0 for tid in range(num_threads)}
         ready = [(0, tid) for tid in range(num_threads)]
         heapq.heapify(ready)
@@ -104,9 +113,26 @@ class Machine:
         transactions = 0
         hierarchy = self.hierarchy
         scheme = self.scheme
+        execute_access = hierarchy.execute_access
+        epoch_due = hierarchy.epoch_due
+        vd_of_core = hierarchy.vd_of_core
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        # The base scheme's boundary/poll hooks are no-ops; skip the call
+        # entirely unless the scheme (or an instance patch) overrides them.
+        boundary_hook = scheme.on_transaction_boundary
+        if getattr(boundary_hook, "__func__", None) is SnapshotScheme.on_transaction_boundary:
+            boundary_hook = None
+        poll_hook = scheme.poll
+        if getattr(poll_hook, "__func__", None) is SnapshotScheme.poll:
+            poll_hook = None
+        capture_latency = self.capture_latency
+        txn_wall = self.txn_wall_samples
+        perf_counter = time.perf_counter
+        observe = self.stats.observe
         while ready:
-            clock, tid = heapq.heappop(ready)
-            vd = hierarchy.vd_of_core(tid)
+            clock, tid = heappop(ready)
+            vd = vd_of_core(tid)
             clock = max(clock, self._global_stall_until, vd.stall_until)
 
             try:
@@ -115,26 +141,32 @@ class Machine:
                 clocks[tid] = clock
                 continue
 
-            if hierarchy.epoch_due(vd):
+            if epoch_due(vd):
                 clock += hierarchy.advance_epoch(vd, vd.cur_epoch + 1, clock)
-            clock += scheme.on_transaction_boundary(tid, clock)
-            if self.capture_latency:
+            if boundary_hook is not None:
+                clock += boundary_hook(tid, clock)
+            if txn_wall is not None:
+                wall_start = perf_counter()
+            if capture_latency:
                 txn_start = clock
-                for op in txn:
-                    latency = hierarchy.execute_op(tid, op, clock)
-                    self.stats.observe("op_latency", latency)
+                for addr, size, is_store in txn:
+                    latency = execute_access(tid, addr, size, is_store, clock)
+                    observe("op_latency", latency)
                     clock += latency
-                self.stats.observe("txn_latency", clock - txn_start)
+                observe("txn_latency", clock - txn_start)
             else:
-                for op in txn:
-                    clock += hierarchy.execute_op(tid, op, clock)
-            scheme.poll(clock)
+                for addr, size, is_store in txn:
+                    clock += execute_access(tid, addr, size, is_store, clock)
+            if txn_wall is not None:
+                txn_wall.append(perf_counter() - wall_start)
+            if poll_hook is not None:
+                poll_hook(clock)
 
             clocks[tid] = clock
             transactions += 1
             if max_transactions is not None and transactions >= max_transactions:
                 break
-            heapq.heappush(ready, (clock, tid))
+            heappush(ready, (clock, tid))
 
         end = max(clocks.values(), default=0)
         end = max(end, self._global_stall_until)

@@ -5,15 +5,57 @@ Workloads produce per-thread streams of *transactions*: short lists of
 accesses of a single B+Tree insert).  The runner interleaves transactions
 across threads by simulated clock, so the unit of interleaving is the
 transaction, not the instruction — see DESIGN.md fidelity notes.
+
+Two stream shapes exist.  ``transactions(tid)`` yields ``List[MemOp]``
+— the original, object-per-access API every external workload already
+implements.  ``access_batches(tid)`` yields flat
+``List[(addr, size, is_store)]`` tuples — the allocation-free twin the
+simulator's inner loop consumes.  :func:`access_stream` picks the right
+one for a given workload: a natively-implemented ``access_batches``
+runs as-is, anything else (including plain duck-typed objects and
+subclasses that override only ``transactions``) is converted on the
+fly.  Both shapes drive byte-identical simulations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 LOAD = "ld"
 STORE = "st"
+
+#: Flat access record consumed by ``Hierarchy.execute_access``.
+Access = Tuple[int, int, bool]  # (addr, size, is_store)
+
+
+def batches_from_transactions(
+    transactions: Iterable[Sequence["MemOp"]],
+) -> Iterator[List[Access]]:
+    """Convert a MemOp transaction stream into flat access batches."""
+    for txn in transactions:
+        yield [(op.addr, op.size, op.kind == STORE) for op in txn]
+
+
+def access_stream(workload, thread_id: int) -> Iterator[List[Access]]:
+    """Resolve a workload's per-thread stream of flat access batches.
+
+    Uses the workload's native ``access_batches`` when its class (or a
+    base of it) defines one *above* any ``transactions`` override in the
+    MRO — so a subclass that customizes only ``transactions`` keeps its
+    behavior, converted lazily.  Methods derived by the ``Workload``
+    base class are marked ``_derived`` and never chosen directly; plain
+    objects exposing only ``transactions`` work unchanged.
+    """
+    for klass in type(workload).__mro__:
+        batches = klass.__dict__.get("access_batches")
+        if batches is not None:
+            if getattr(batches, "_derived", False):
+                break  # base-class converter: transactions is the native one
+            return workload.access_batches(thread_id)
+        if "transactions" in klass.__dict__:
+            break  # a transactions definition is the most specific stream
+    return batches_from_transactions(workload.transactions(thread_id))
 
 
 @dataclass(frozen=True)

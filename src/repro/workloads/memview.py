@@ -9,40 +9,57 @@ rehashes — at the layout the structure defines.
 
 One ``MemView`` accumulates the accesses of a single operation, which
 the workload then yields as one transaction.
+
+Internally accesses are recorded as flat ``(addr, size, is_store)``
+tuples — the shape the simulator's inner loop consumes — so the hot
+record path never allocates a ``MemOp``.  ``take()`` still materializes
+``MemOp`` objects for callers on the classic transaction API;
+``take_accesses()`` hands the raw tuples over.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from ..sim.trace import LOAD, STORE, MemOp
+from ..sim.trace import LOAD, STORE, Access, MemOp
 
 
 class MemView:
     """Collects the memory accesses of one logical operation."""
 
     def __init__(self) -> None:
-        self._ops: List[MemOp] = []
+        self._accesses: List[Access] = []
 
     def read(self, addr: int, size: int = 8) -> None:
-        self._ops.append(MemOp(LOAD, addr, size))
+        self._accesses.append((addr, size, False))
 
     def write(self, addr: int, size: int = 8) -> None:
-        self._ops.append(MemOp(STORE, addr, size))
+        self._accesses.append((addr, size, True))
 
     def read_range(self, addr: int, size: int, stride: int = 64) -> None:
         """Touch a range with one load per ``stride`` bytes (streaming)."""
+        append = self._accesses.append
+        chunk = min(stride, 8)
         for offset in range(0, max(size, 1), stride):
-            self.read(addr + offset, min(stride, 8))
+            append((addr + offset, chunk, False))
 
     def write_range(self, addr: int, size: int, stride: int = 64) -> None:
+        append = self._accesses.append
+        chunk = min(stride, 8)
         for offset in range(0, max(size, 1), stride):
-            self.write(addr + offset, min(stride, 8))
+            append((addr + offset, chunk, True))
+
+    def take_accesses(self) -> List[Access]:
+        """Return and clear the recorded (addr, size, is_store) tuples."""
+        accesses, self._accesses = self._accesses, []
+        return accesses
 
     def take(self) -> List[MemOp]:
-        """Return and clear the recorded transaction."""
-        ops, self._ops = self._ops, []
-        return ops
+        """Return and clear the recorded transaction as ``MemOp``s."""
+        return [
+            MemOp(STORE if is_store else LOAD, addr, size)
+            for addr, size, is_store in self.take_accesses()
+        ]
 
     def __len__(self) -> int:
-        return len(self._ops)
+        return len(self._accesses)

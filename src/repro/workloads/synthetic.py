@@ -11,7 +11,7 @@ import math
 import random
 from typing import Iterator, List
 
-from ..sim.trace import MemOp
+from ..sim.trace import Access
 from .alloc import AddressSpace
 from .base import Workload, register_workload
 from .memview import MemView
@@ -45,9 +45,10 @@ class UniformRandom(Workload):
         ]
         self.shared = space.region().alloc(footprint, align=4096)
 
-    def transactions(self, thread_id: int) -> Iterator[List[MemOp]]:
+    def access_batches(self, thread_id: int) -> Iterator[List[Access]]:
         rng = random.Random((self.seed << 6) ^ thread_id)
         view = MemView()
+        take = view.take_accesses
         for _ in range(self.txns_per_thread):
             for _ in range(4):
                 region = (
@@ -60,7 +61,7 @@ class UniformRandom(Workload):
                     view.write(addr, 8)
                 else:
                     view.read(addr, 8)
-            yield view.take()
+            yield take()
 
 
 class Zipfian(Workload):
@@ -102,9 +103,10 @@ class Zipfian(Workload):
                 hi = mid
         return lo
 
-    def transactions(self, thread_id: int) -> Iterator[List[MemOp]]:
+    def access_batches(self, thread_id: int) -> Iterator[List[Access]]:
         rng = random.Random((self.seed << 6) ^ thread_id)
         view = MemView()
+        take = view.take_accesses
         for _ in range(self.txns_per_thread):
             for _ in range(4):
                 addr = self.base + self._pick(rng) * LINE
@@ -112,7 +114,7 @@ class Zipfian(Workload):
                     view.write(addr, 8)
                 else:
                     view.read(addr, 8)
-            yield view.take()
+            yield take()
 
 
 class Streaming(Workload):
@@ -137,15 +139,16 @@ class Streaming(Workload):
             space.region().alloc(array_bytes, align=4096) for _ in range(num_threads)
         ]
 
-    def transactions(self, thread_id: int) -> Iterator[List[MemOp]]:
+    def access_batches(self, thread_id: int) -> Iterator[List[Access]]:
         view = MemView()
+        take = view.take_accesses
         cursor = 0
         for _ in range(self.txns_per_thread):
             base = self.arrays[thread_id] + cursor
             view.read_range(base, self.chunk)
             view.write_range(base, self.chunk)
             cursor = (cursor + self.chunk) % (self.array_bytes - self.chunk)
-            yield view.take()
+            yield take()
 
 
 class BurstyWrites(Workload):
@@ -173,9 +176,10 @@ class BurstyWrites(Workload):
             space.region().alloc(footprint, align=4096) for _ in range(num_threads)
         ]
 
-    def transactions(self, thread_id: int) -> Iterator[List[MemOp]]:
+    def access_batches(self, thread_id: int) -> Iterator[List[Access]]:
         rng = random.Random((self.seed << 6) ^ thread_id)
         view = MemView()
+        take = view.take_accesses
         base = self.regions[thread_id]
         for index in range(self.txns_per_thread):
             if index % self.burst_every == self.burst_every - 1:
@@ -184,7 +188,7 @@ class BurstyWrites(Workload):
             else:
                 for _ in range(4):
                     view.read(base + rng.randrange(0, self.footprint, 8), 8)
-            yield view.take()
+            yield take()
 
 
 @register_workload("uniform")

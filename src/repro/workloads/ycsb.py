@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, List
 
-from ..sim.trace import MemOp
+from ..sim.trace import Access
 from .alloc import AddressSpace
 from .base import Workload, register_workload
 from .btree import BPlusTree
@@ -106,9 +106,10 @@ class YCSBWorkload(Workload):
             return self.keys[len(self.keys) - 1 - rank]
         return self.keys[rank]
 
-    def transactions(self, thread_id: int) -> Iterator[List[MemOp]]:
+    def access_batches(self, thread_id: int) -> Iterator[List[Access]]:
         rng = random.Random((self.seed << 9) ^ thread_id)
         view = MemView()
+        take = view.take_accesses
         ops, weights = zip(*self.mix.items())
         latest_bias = self.mix_name == "d"
         for _ in range(self.ops_per_thread):
@@ -128,7 +129,7 @@ class YCSBWorkload(Workload):
                 key = self._pick_key(rng, False)
                 self.index.lookup(key, view)
                 self.index.insert(key, rng.getrandbits(16), view)
-            yield view.take()
+            yield take()
 
 
 def _make_ycsb(mix: str):

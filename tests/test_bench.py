@@ -1,0 +1,173 @@
+"""Tests for the throughput harness (`repro bench`) and its trajectory file."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import bench
+from repro.harness.bench import (
+    BenchResult,
+    SCENARIOS,
+    append_entry,
+    baseline_entry,
+    check_regression,
+    env_id,
+    load_trajectory,
+    run_bench,
+    run_scenario,
+)
+
+
+def _result(name: str, ops_per_sec: float) -> BenchResult:
+    return BenchResult(
+        name=name, ops=1000, seconds=1000.0 / ops_per_sec,
+        ops_per_sec=ops_per_sec, per_op_us_p50=1.0, per_op_us_p95=2.0,
+        cycles=1, stores=1, transactions=1, repeats=1,
+    )
+
+
+class TestScenarios:
+    def test_catalog_pairs_schemes(self):
+        schemes = {s.scheme for s in SCENARIOS.values()}
+        assert schemes == {"nvoverlay", "picl"}
+        workloads = {s.workload for s in SCENARIOS.values()}
+        assert workloads == {"uniform", "btree", "ycsb_a"}
+
+    def test_quick_spec_scales_down(self):
+        scenario = SCENARIOS["uniform_nvoverlay"]
+        full = scenario.spec(quick=False)
+        quick = scenario.spec(quick=True)
+        assert quick.scale == pytest.approx(full.scale * scenario.quick_scale)
+        assert quick.workload == full.workload
+        assert quick.scheme == full.scheme
+
+    def test_run_scenario_measures(self):
+        scenario = SCENARIOS["ycsb_a_picl"]
+        result = run_scenario(scenario, quick=True, repeats=2)
+        assert result.ops > 0
+        assert result.ops_per_sec > 0
+        assert result.seconds == min(result.all_seconds)
+        assert len(result.all_seconds) == 2
+        assert result.per_op_us_p95 >= result.per_op_us_p50 >= 0
+        payload = result.to_dict()
+        assert payload["ops"] == result.ops
+        assert payload["repeats"] == 2
+
+    def test_run_bench_rejects_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown bench scenario"):
+            run_bench(["nope"], quick=True)
+
+
+class TestTrajectory:
+    def test_load_missing_file(self, tmp_path):
+        data = load_trajectory(tmp_path / "absent.json")
+        assert data == {"schema": 1, "entries": []}
+
+    def test_append_and_baseline_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENV", "test-env")
+        path = tmp_path / "traj.json"
+        results = {"uniform_nvoverlay": _result("uniform_nvoverlay", 100.0)}
+        append_entry(path, results, label="first", quick=True,
+                     timestamp="2026-01-01T00:00:00")
+        append_entry(path, results, label="second", quick=True,
+                     timestamp="2026-01-02T00:00:00")
+        data = load_trajectory(path)
+        assert [e["label"] for e in data["entries"]] == ["first", "second"]
+        assert data["entries"][0]["env"] == "test-env"
+        # Most recent matching entry wins.
+        assert baseline_entry(data, quick=True)["label"] == "second"
+        # quick mismatch and env mismatch both disqualify.
+        assert baseline_entry(data, quick=False) is None
+        assert baseline_entry(data, env="other-env") is None
+
+    def test_env_id_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENV", "github-ci")
+        assert env_id() == "github-ci"
+        monkeypatch.delenv("REPRO_BENCH_ENV")
+        assert "py" in env_id()
+
+    def test_trajectory_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "traj.json"
+        append_entry(path, {"s": _result("s", 10.0)}, label="x", quick=False,
+                     timestamp="2026-01-01T00:00:00")
+        parsed = json.loads(path.read_text())
+        assert parsed["entries"][0]["results"]["s"]["ops_per_sec"] == 10.0
+
+
+class TestRegressionGate:
+    def _baseline(self, ops_per_sec: float):
+        return {
+            "label": "base", "env": "test-env", "quick": True,
+            "results": {"uniform_nvoverlay": {"ops_per_sec": ops_per_sec}},
+        }
+
+    def test_no_baseline_never_fails(self):
+        results = {"uniform_nvoverlay": _result("uniform_nvoverlay", 1.0)}
+        assert check_regression(results, None) == []
+
+    def test_within_threshold_passes(self):
+        results = {"uniform_nvoverlay": _result("uniform_nvoverlay", 85.0)}
+        assert check_regression(results, self._baseline(100.0)) == []
+
+    def test_regression_detected(self):
+        results = {"uniform_nvoverlay": _result("uniform_nvoverlay", 70.0)}
+        assert check_regression(results, self._baseline(100.0)) == [
+            "uniform_nvoverlay"
+        ]
+
+    def test_threshold_is_configurable(self):
+        results = {"uniform_nvoverlay": _result("uniform_nvoverlay", 85.0)}
+        assert check_regression(results, self._baseline(100.0),
+                                threshold=0.10) == ["uniform_nvoverlay"]
+
+    def test_new_scenario_not_in_baseline_is_skipped(self):
+        results = {"brand_new": _result("brand_new", 1.0)}
+        assert check_regression(results, self._baseline(100.0)) == []
+
+
+class TestCli:
+    def test_bench_command_end_to_end(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENV", "test-env")
+        path = tmp_path / "traj.json"
+        argv = ["bench", "--quick", "--scenarios", "ycsb_a_picl",
+                "--repeats", "1", "--json", str(path), "--check",
+                "--label", "unit test"]
+        # First run: no baseline, gate skips, entry recorded.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "ycsb_a_picl" in captured.out
+        assert "skipped" in captured.err
+        data = load_trajectory(path)
+        assert [e["label"] for e in data["entries"]] == ["unit test"]
+        # Second run: baseline exists; identical machine → gate passes.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "regression gate: OK" in captured.err
+        assert len(load_trajectory(path)["entries"]) == 2
+
+    def test_bench_gate_failure_exit_code(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENV", "test-env")
+        path = tmp_path / "traj.json"
+        # Plant an impossible baseline so the fresh run must regress.
+        append_entry(path, {"ycsb_a_picl": _result("ycsb_a_picl", 1e12)},
+                     label="impossible", quick=True,
+                     timestamp="2026-01-01T00:00:00")
+        argv = ["bench", "--quick", "--scenarios", "ycsb_a_picl",
+                "--repeats", "1", "--json", str(path), "--check",
+                "--no-update"]
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION ycsb_a_picl" in captured.err
+        # --no-update must not have appended.
+        assert len(load_trajectory(path)["entries"]) == 1
+
+    def test_bench_unknown_scenario_exit_code(self, capsys):
+        assert main(["bench", "--scenarios", "nope", "--no-update"]) == 2
+        assert "unknown bench scenario" in capsys.readouterr().err
+
+    def test_committed_trajectory_has_optimization_entries(self):
+        data = load_trajectory(bench.default_trajectory_path())
+        labels = [e["label"] for e in data["entries"]]
+        assert any("pre-optimization" in label for label in labels)
+        assert any("post-optimization" in label for label in labels)

@@ -1,0 +1,60 @@
+"""Golden-stats parity: optimized hot paths are bit-identical to the seed.
+
+``tests/data/golden_parity.json`` holds fingerprints captured from the
+pre-optimization implementation: the full ``Stats`` counter dump, every
+time series, the final working-memory and merged hierarchy images, and
+the spec cache key, each hashed.  The optimized simulator must reproduce
+every one of them exactly — a perf change that shifts any counter,
+cycle count or memory byte is a semantics change, not an optimization.
+
+These are the heaviest tier-1 tests (six full small-scale runs); the
+cells stay at scale 0.2 so the whole file runs in a few seconds.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.bench import run_fingerprint
+from repro.harness.spec import RunSpec
+
+FIXTURE = Path(__file__).parent / "data" / "golden_parity.json"
+
+with FIXTURE.open() as fh:
+    _CELLS = json.load(fh)["cells"]
+
+
+@pytest.mark.parametrize(
+    "cell", _CELLS, ids=[f"{c['workload']}-{c['scheme']}" for c in _CELLS]
+)
+def test_fingerprint_matches_seed(cell):
+    spec = RunSpec(
+        workload=cell["workload"],
+        scheme=cell["scheme"],
+        scale=cell["scale"],
+        seed=cell["seed"],
+    )
+    fingerprint = run_fingerprint(spec)
+    expected = cell["fingerprint"]
+    mismatched = {
+        key: (expected[key], fingerprint.get(key))
+        for key in expected
+        if fingerprint.get(key) != expected[key]
+    }
+    assert not mismatched, (
+        f"{cell['workload']}/{cell['scheme']} diverged from the seed "
+        f"implementation: {mismatched}"
+    )
+
+
+def test_fixture_covers_both_schemes_and_three_workloads():
+    pairs = {(c["workload"], c["scheme"]) for c in _CELLS}
+    assert len(pairs) >= 6
+    assert {s for _, s in pairs} == {"nvoverlay", "picl"}
+    assert len({w for w, _ in pairs}) >= 3
+
+
+def test_fingerprint_is_deterministic():
+    spec = RunSpec(workload="uniform", scheme="nvoverlay", scale=0.05, seed=3)
+    assert run_fingerprint(spec) == run_fingerprint(spec)

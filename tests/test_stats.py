@@ -36,6 +36,45 @@ class TestCounters:
         stats.inc("dram.reads", 100)
         assert stats.total("llc.") == 3
 
+    def test_prefix_index_sees_new_keys(self):
+        # The prefix index is cached lazily; registering a new counter
+        # after a query must invalidate it.
+        stats = Stats()
+        stats.inc("l1.hits", 2)
+        assert stats.total("l1.") == 2
+        stats.inc("l1.misses", 5)
+        assert stats.total("l1.") == 7
+        assert stats.counters("l1.") == {"l1.hits": 2, "l1.misses": 5}
+
+    def test_prefix_index_reads_fresh_values(self):
+        # Re-incrementing an existing key must be visible through a
+        # previously-cached prefix query (the index holds names only).
+        stats = Stats()
+        stats.inc("nvm.bytes", 10)
+        assert stats.total("nvm.") == 10
+        stats.inc("nvm.bytes", 10)
+        assert stats.total("nvm.") == 20
+
+    def test_prefix_index_invalidated_by_set_and_reset(self):
+        stats = Stats()
+        stats.inc("a.x", 1)
+        assert stats.counters("a.") == {"a.x": 1}
+        stats.set("a.y", 4)
+        assert stats.counters("a.") == {"a.x": 1, "a.y": 4}
+        stats.reset()
+        assert stats.counters("a.") == {}
+        stats.inc("a.z", 9)
+        assert stats.total("a.") == 9
+
+    def test_prefix_index_after_merge(self):
+        stats = Stats()
+        stats.inc("a.x", 1)
+        assert stats.total("a.") == 1
+        other = Stats()
+        other.inc("a.y", 2)
+        stats.merge(other)
+        assert stats.total("a.") == 3
+
 
 class TestSeries:
     def test_bucketing(self):

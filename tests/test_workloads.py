@@ -392,3 +392,58 @@ class TestRegistry:
                     pages.add(page_of(op.addr))
         spread = max(pages) - min(pages)
         assert spread > 10_000  # pages scattered over a large region
+
+
+class TestStreamShapes:
+    """The two stream APIs (transactions / access_batches) are twins."""
+
+    def _flat(self, txn):
+        return [(op.addr, op.size, op.kind == STORE) for op in txn]
+
+    @pytest.mark.parametrize("name", ["uniform", "btree", "ycsb_a"])
+    def test_batches_equal_transactions(self, name):
+        # Streams mutate shared state lazily, so build two instances.
+        via_txn = make_workload(name, num_threads=2, scale=0.1, seed=5)
+        via_batch = make_workload(name, num_threads=2, scale=0.1, seed=5)
+        for tid in range(2):
+            txns = [self._flat(t) for t in via_txn.transactions(tid)]
+            batches = list(via_batch.access_batches(tid))
+            assert batches == txns
+
+    def test_access_stream_prefers_native_batches(self):
+        from repro.sim.trace import access_stream
+        from repro.workloads.base import Workload
+
+        class BatchOnly(Workload):
+            def access_batches(self, thread_id):
+                yield [(64, 8, True), (128, 8, False)]
+
+        stream = list(access_stream(BatchOnly(num_threads=1), 0))
+        assert stream == [[(64, 8, True), (128, 8, False)]]
+        # And the derived transactions() direction still materializes.
+        txns = list(BatchOnly(num_threads=1).transactions(0))
+        assert [(op.addr, op.size, op.is_store) for op in txns[0]] == [
+            (64, 8, True), (128, 8, False),
+        ]
+
+    def test_access_stream_converts_legacy_transactions(self):
+        from repro.sim.trace import MemOp, access_stream
+        from repro.workloads.base import Workload
+
+        class TxnOnly(Workload):
+            def transactions(self, thread_id):
+                yield [MemOp(STORE, 256), MemOp(LOAD, 512, 16)]
+
+        stream = list(access_stream(TxnOnly(num_threads=1), 0))
+        assert stream == [[(256, 8, True), (512, 16, False)]]
+
+    def test_neither_shape_raises(self):
+        from repro.workloads.base import Workload
+
+        class Empty(Workload):
+            pass
+
+        with pytest.raises(TypeError, match="must implement"):
+            list(Empty(num_threads=1).transactions(0))
+        with pytest.raises(TypeError, match="must implement"):
+            list(Empty(num_threads=1).access_batches(0))
