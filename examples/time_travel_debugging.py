@@ -77,7 +77,7 @@ def main() -> None:
     line = workload.counter >> 6
     writes = [
         (epoch, token)
-        for l, epoch, token, _vd in machine.hierarchy.store_log
+        for l, epoch, token, _vd, _core in machine.hierarchy.store_log
         if l == line
     ]
     assert len(writes) == 2, "expected exactly stomp + fix"

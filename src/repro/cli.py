@@ -7,7 +7,11 @@ Commands:
 * ``experiment``  — regenerate one paper artifact (table1, fig11..fig17)
 * ``crash-sweep`` — crash NVOverlay at many points, verify recovery (§V-B)
 * ``workloads``   — list registered workload names
-* ``trace``       — capture a workload's op stream to a trace file
+* ``trace``       — capture a workload's op stream to a trace file, or
+  (``--protocol``) run with the invariant oracle armed and export the
+  structured protocol-event trace as JSONL
+* ``diff``        — differential check: one workload trace replayed under
+  several schemes, final images and snapshots cross-checked
 * ``cache``       — inspect (``info``) or empty (``clear``) the result cache
 * ``bench``       — time the simulator itself; track ``BENCH_sim_throughput.json``
 
@@ -25,6 +29,9 @@ Examples::
     python -m repro crash-sweep --workload uniform --scale 0.1 --jobs 2
     python -m repro cache info
     python -m repro trace --workload art --scale 0.1 --out art.trace
+    python -m repro trace --protocol --workload btree --scheme nvoverlay \\
+        --scale 0.1 --out btree.jsonl
+    python -m repro diff --workload uniform --scale 0.1 --oracle
     python -m repro bench --quick --check
     python -m repro bench --scenarios uniform_nvoverlay --profile 15
 """
@@ -146,7 +153,7 @@ def _render_fig17(args, opts) -> str:
 
 def _cmd_run(args) -> int:
     spec = RunSpec(workload=args.workload, scheme=args.scheme,
-                   scale=args.scale, seed=args.seed)
+                   scale=args.scale, seed=args.seed, oracle=args.oracle)
     cache = None if args.no_cache else RunCache()
     record = run_one(spec, cache=cache)
     print(f"workload:      {record.workload}")
@@ -196,10 +203,64 @@ def _cmd_workloads(_args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.protocol:
+        return _protocol_trace(args)
     workload = make_workload(args.workload, num_threads=args.threads,
                              scale=args.scale, seed=args.seed)
     count = save_trace(args.out, capture_trace(workload))
     print(f"wrote {count} ops to {args.out}")
+    return 0
+
+
+def _protocol_trace(args) -> int:
+    """Armed run + JSONL export; exports even when an invariant fires."""
+    from .harness.runner import make_scheme
+    from .oracle import InvariantViolation, ProtocolOracle
+    from .sim import Machine, SystemConfig
+
+    config = SystemConfig()
+    oracle = ProtocolOracle()
+    machine = Machine(config, scheme=make_scheme(args.scheme), oracle=oracle)
+    workload = make_workload(args.workload, num_threads=config.num_cores,
+                             scale=args.scale, seed=args.seed)
+    status = 0
+    try:
+        machine.run(workload)
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION [{exc.invariant}]: {exc}", file=sys.stderr)
+        status = 1
+    count = oracle.trace.export_jsonl(args.out)
+    summary = oracle.summary()
+    print(f"wrote {count} protocol events to {args.out} "
+          f"({summary['events']} emitted, {summary['scans']} full scans)")
+    return status
+
+
+def _cmd_diff(args) -> int:
+    from .oracle import DifferentialMismatch, run_differential
+    from .oracle.differential import DEFAULT_SCHEMES
+
+    schemes = tuple(args.schemes.split(",")) if args.schemes else DEFAULT_SCHEMES
+    try:
+        summary = run_differential(
+            args.workload,
+            schemes=schemes,
+            scale=args.scale,
+            seed=args.seed,
+            oracle=args.oracle,
+            trace_dir=args.trace_out,
+        )
+    except DifferentialMismatch as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"workload:        {summary['workload']}")
+    print(f"schemes:         {', '.join(summary['schemes'])}")
+    print(f"stores:          {summary['stores']:,}")
+    print(f"lines:           {summary['lines']:,} "
+          f"({summary['contested_lines']} contested)")
+    for scheme, epochs in summary["snapshots_checked"].items():
+        print(f"snapshots [{scheme}]: epochs {epochs}")
+    print("verdict:         OK (schemes agree; snapshots match the store log)")
     return 0
 
 
@@ -249,12 +310,16 @@ def _cmd_bench(args) -> int:
     names = args.scenarios.split(",") if args.scenarios else None
     try:
         results = bench.run_bench(names, quick=args.quick, repeats=args.repeats,
-                                  profile_frames=args.profile)
+                                  profile_frames=args.profile,
+                                  oracle=args.oracle)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    suffix = ("" if not args.quick else " (--quick)") + (
+        " [oracle armed]" if args.oracle else ""
+    )
     print(report.format_table(
-        "simulator throughput" + (" (--quick)" if args.quick else ""),
+        "simulator throughput" + suffix,
         ["ops_per_sec", "seconds", "per_op_us_p50", "per_op_us_p95"],
         {
             name: {
@@ -267,6 +332,10 @@ def _cmd_bench(args) -> int:
         },
     ))
 
+    if args.oracle:
+        # Armed numbers measure checking overhead, not simulator speed;
+        # never let them into the trajectory or gate against it.
+        return 0
     path = Path(args.json) if args.json else bench.default_trajectory_path()
     baseline = bench.baseline_entry(bench.load_trajectory(path),
                                     quick=args.quick)
@@ -338,6 +407,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one workload under one scheme")
     common(p_run, with_scheme=True)
     parallel_opts(p_run, with_jobs=False)
+    p_run.add_argument("--oracle", action="store_true",
+                       help="arm the protocol invariant oracle (repro.oracle)")
     p_run.set_defaults(func=_cmd_run)
 
     p_compare = sub.add_parser("compare", help="run every scheme on a workload")
@@ -380,7 +451,28 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_trace)
     p_trace.add_argument("--threads", type=int, default=16)
     p_trace.add_argument("--out", required=True)
+    p_trace.add_argument("--protocol", action="store_true",
+                         help="run with the invariant oracle armed and write "
+                              "the structured protocol-event trace as JSONL")
+    p_trace.add_argument("--scheme", default="nvoverlay",
+                         choices=sorted(SCHEMES),
+                         help="scheme for --protocol runs")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="replay one workload trace under several schemes and cross-check",
+    )
+    common(p_diff)
+    p_diff.add_argument("--schemes", default=None,
+                        help="comma-separated scheme list "
+                             "(default: nvoverlay,picl,ideal)")
+    p_diff.add_argument("--oracle", action="store_true",
+                        help="also arm the invariant oracle on every run")
+    p_diff.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="export each run's protocol events to "
+                             "DIR/<workload>_<scheme>.jsonl (implies --oracle)")
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"])
@@ -411,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default=BENCH_REGRESSION_THRESHOLD,
                          help="regression threshold as a fraction "
                               "(default 0.20)")
+    p_bench.add_argument("--oracle", action="store_true",
+                         help="arm the invariant oracle inside the timed "
+                              "region (measures checking overhead; never "
+                              "recorded or gated)")
     p_bench.set_defaults(func=_cmd_bench)
 
     return parser

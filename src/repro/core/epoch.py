@@ -93,6 +93,9 @@ class SenseController:
         self.sense = 0
         self._logical: Dict[int, int] = {vd: 0 for vd in range(num_vds)}
         self.flips = 0
+        #: Optional ``(vd, new_logical, sense)`` callback fired after
+        #: each sense flip (the protocol oracle traces these).
+        self.observer = None
 
     def on_vd_advance(self, vd: int, new_logical: int) -> None:
         old_logical = self._logical.get(vd, 0)
@@ -109,6 +112,8 @@ class SenseController:
         if crossings:
             self.flips += crossings
             self.sense ^= crossings & 1
+            if self.observer is not None:
+                self.observer(vd, new_logical, self.sense)
 
     def max_skew(self) -> int:
         values = self._logical.values()

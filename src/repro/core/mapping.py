@@ -131,6 +131,41 @@ class RadixTree:
 
         yield from walk(self.root, 0, 0)
 
+    def check_consistency(self) -> None:
+        """Verify the accounting matches the actual structure.
+
+        Walks the whole tree and compares the real node count per level
+        and the real leaf-entry count against ``nodes_per_level`` and
+        ``entries`` (which insert/remove maintain incrementally — the
+        Fig. 13 metadata numbers are read straight off them).  Raises
+        ``AssertionError`` on any divergence; used by the property-based
+        tests and available to the protocol oracle.
+        """
+        levels = len(self.level_bits)
+        found_nodes = [0] * levels
+        found_entries = 0
+
+        def walk(node: Dict[int, object], depth: int) -> None:
+            nonlocal found_entries
+            found_nodes[depth] += 1
+            if depth == levels - 1:
+                found_entries += len(node)
+                return
+            for child in node.values():
+                walk(child, depth + 1)  # type: ignore[arg-type]
+
+        walk(self.root, 0)
+        if found_nodes != self.nodes_per_level:
+            raise AssertionError(
+                f"radix node accounting diverged: counted {found_nodes}, "
+                f"recorded {self.nodes_per_level}"
+            )
+        if found_entries != self.entries:
+            raise AssertionError(
+                f"radix entry accounting diverged: counted {found_entries}, "
+                f"recorded {self.entries}"
+            )
+
     def node_bytes(self) -> int:
         """Total bytes of allocated table nodes (Fig. 13 numerator)."""
         total = 0

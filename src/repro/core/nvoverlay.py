@@ -79,6 +79,12 @@ class NVOverlay(SnapshotScheme):
         self.walkers: List[TagWalker] = []
         self.space: Optional[EpochSpace] = None
         self.sense: Optional[SenseController] = None
+        #: Snapshot of (rec_epoch, max cur_epoch + 1) taken when finalize
+        #: begins — i.e. the run's end state *before* the shutdown flush
+        #: makes everything recoverable.  The walk-rate ablation reads
+        #: these through ``record.extra``.
+        self.finalize_rec_epoch: Optional[int] = None
+        self.finalize_epoch: Optional[int] = None
 
     # -- lifecycle -------------------------------------------------------
     def attach(self, machine) -> None:
@@ -156,6 +162,8 @@ class NVOverlay(SnapshotScheme):
         assert machine is not None and self.cluster is not None
         hierarchy = machine.hierarchy
         final_epoch = max(vd.cur_epoch for vd in hierarchy.vds) + 1
+        self.finalize_rec_epoch = self.cluster.rec_epoch
+        self.finalize_epoch = final_epoch
         for vd in hierarchy.vds:
             hierarchy.advance_epoch(vd, final_epoch, now)
         for vd in hierarchy.vds:

@@ -375,6 +375,9 @@ class OMCCluster:
         #: Optional crash-point injector (repro.faults); wired by the
         #: scheme at attach time.  None disables every hook.
         self.fault_injector = None
+        #: Optional protocol oracle (repro.oracle); set when the oracle
+        #: binds to an armed machine.  None disables every hook.
+        self.oracle = None
 
     def set_fault_injector(self, injector) -> None:
         """Arm (or disarm, with None) crash-point hooks cluster-wide."""
@@ -415,6 +418,8 @@ class OMCCluster:
             self.stats.inc("omc.stale_min_ver_reports")
             min_ver = min(min_ver, self.min_vers[vd_id])
         self.min_vers[vd_id] = min_ver
+        if self.oracle is not None:
+            self.oracle.on_min_ver(vd_id, min_ver, now)
         self._advance_rec_epoch(now)
 
     def lower_min_ver(self, vd_id: int, oid: int) -> None:
@@ -428,6 +433,7 @@ class OMCCluster:
         candidate = min(self.min_vers.values()) - 1
         if candidate <= self.rec_epoch:
             return
+        previous = self.rec_epoch
         # Merge first, persist the pointer last: the 8-byte rec-epoch
         # write is the atomic commit point (§V-B).  Each OMC journals its
         # Master Table mutations so a crash anywhere before the pointer
@@ -435,6 +441,8 @@ class OMCCluster:
         for omc in self.omcs:
             if self.fault_injector is not None:
                 self.fault_injector.on_event("merge", now)
+            if self.oracle is not None:
+                self.oracle.on_merge(omc.id, candidate, now)
             omc.begin_merge()
             omc.merge_through(candidate, now)
         self.rec_epoch = candidate
@@ -443,6 +451,8 @@ class OMCCluster:
         self.stats.set("omc.rec_epoch", candidate)
         for omc in self.omcs:
             omc.commit_merge()
+        if self.oracle is not None:
+            self.oracle.on_rec_epoch(previous, candidate, now)
         if self.quota_pages is not None:
             from .gc import compact_if_needed  # local import: gc uses OMC
 

@@ -136,16 +136,16 @@ class SnapshotReader:
 
 
 def golden_image(
-    store_log: List[Tuple[int, int, int, int]], epoch: int
+    store_log: List[Tuple[int, int, int, int, int]], epoch: int
 ) -> Dict[int, int]:
     """Reference image at ``epoch`` from a hierarchy store log.
 
-    The log holds (line, epoch, token, vd) per committed store in global
-    commit order; coherence serializes same-line writes, so the last
-    entry with epoch <= the target wins.
+    The log holds (line, epoch, token, vd, core) per committed store in
+    global commit order; coherence serializes same-line writes, so the
+    last entry with epoch <= the target wins.
     """
     image: Dict[int, int] = {}
-    for line, e, token, _vd in store_log:
+    for line, e, token, _vd, _core in store_log:
         if e <= epoch:
             image[line] = token
     return image

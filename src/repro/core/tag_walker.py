@@ -94,6 +94,9 @@ class TagWalker:
             injector.on_event("walker_pass", now)
         self.passes_completed += 1
         min_ver = self.hierarchy.min_dirty_oid(self.vd)
+        oracle = self.hierarchy.oracle
+        if oracle is not None:
+            oracle.on_walker_pass(self.vd.id, min_ver, now)
         self.cluster.update_min_ver(self.vd.id, min_ver, now, seq=self._pass_seq)
         self.stats.inc("walker.passes")
 

@@ -130,8 +130,14 @@ def _percentile(samples: Sequence[float], fraction: float) -> float:
 
 def _build(spec: RunSpec, capture_txn_wall: bool) -> tuple:
     config = spec.resolved_config
+    oracle = None
+    if spec.oracle:
+        # Lazy import: only armed benches pay for the oracle package.
+        from ..oracle import ProtocolOracle
+
+        oracle = ProtocolOracle()
     machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
-                      capture_txn_wall=capture_txn_wall)
+                      capture_txn_wall=capture_txn_wall, oracle=oracle)
     workload = make_workload(spec.workload, num_threads=config.num_cores,
                              scale=spec.scale, seed=spec.seed)
     return machine, workload
@@ -142,15 +148,19 @@ def run_scenario(
     quick: bool = False,
     repeats: int = 3,
     profile_frames: int = 0,
+    oracle: bool = False,
 ) -> BenchResult:
     """Time one scenario; the best repeat is the headline number.
 
     Machine and workload construction are excluded from the timed
     region; lazy trace generation (which interleaves with simulation)
     is included.  With ``profile_frames`` > 0 an extra profiled run
-    prints the top hot frames to stderr (never timed).
+    prints the top hot frames to stderr (never timed).  ``oracle=True``
+    arms the invariant oracle inside the timed region — that measures
+    the checking overhead, so armed numbers must never be committed to
+    the trajectory as if they were plain throughput.
     """
-    spec = scenario.spec(quick)
+    spec = scenario.spec(quick).with_changes(oracle=oracle)
     seconds: List[float] = []
     best: Optional[BenchResult] = None
     for repeat in range(max(1, repeats)):
@@ -197,6 +207,7 @@ def run_bench(
     quick: bool = False,
     repeats: int = 3,
     profile_frames: int = 0,
+    oracle: bool = False,
 ) -> Dict[str, BenchResult]:
     """Run the named scenarios (default: all) and return their results."""
     selected = list(names) if names else list(SCENARIOS)
@@ -206,7 +217,7 @@ def run_bench(
         raise KeyError(f"unknown bench scenario(s) {unknown}; known: {known}")
     return {
         name: run_scenario(SCENARIOS[name], quick=quick, repeats=repeats,
-                           profile_frames=profile_frames)
+                           profile_frames=profile_frames, oracle=oracle)
         for name in selected
     }
 
@@ -321,7 +332,13 @@ def run_fingerprint(spec: RunSpec) -> Dict[str, Any]:
     identical on ``spec`` iff these hashes match.
     """
     config = spec.resolved_config
-    machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params))
+    oracle = None
+    if spec.oracle:
+        from ..oracle import ProtocolOracle
+
+        oracle = ProtocolOracle()
+    machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
+                      oracle=oracle)
     workload = make_workload(spec.workload, num_threads=config.num_cores,
                              scale=spec.scale, seed=spec.seed)
     result = machine.run(workload)

@@ -119,11 +119,18 @@ def simulate(spec: RunSpec) -> RunRecord:
         return crashed_run_record(spec)
     config = spec.resolved_config
     scheme = make_scheme(spec.scheme, spec.nvo_params)
+    oracle = None
+    if spec.oracle:
+        # Lazy import: the oracle package is only paid for by armed runs.
+        from ..oracle import ProtocolOracle
+
+        oracle = ProtocolOracle()
     machine = Machine(
         config,
         scheme=scheme,
         capture_store_log=spec.capture_store_log,
         capture_latency=spec.capture_latency,
+        oracle=oracle,
     )
     workload = make_workload(
         spec.workload, num_threads=config.num_cores, scale=spec.scale,
@@ -154,6 +161,10 @@ def simulate(spec: RunSpec) -> RunRecord:
         record.extra["master_metadata_bytes"] = scheme.master_metadata_bytes()
         record.extra["mapped_working_set_bytes"] = scheme.mapped_working_set_bytes()
         record.extra["rec_epoch"] = scheme.rec_epoch()
+        # End-of-run state *before* the shutdown flush: the snapshot-lag
+        # pair the walk-rate ablation plots.
+        record.extra["final_epoch"] = scheme.finalize_epoch
+        record.extra["rec_epoch_at_finalize"] = scheme.finalize_rec_epoch
         if scheme.cluster is not None and scheme.params.use_omc_buffer:
             buffers = [o.buffer for o in scheme.cluster.omcs if o.buffer]
             hits = sum(b.stats.get("omc_buffer.hits") for b in buffers[:1])
@@ -170,6 +181,9 @@ def simulate(spec: RunSpec) -> RunRecord:
         record.extra["op_latency_max_bucket"] = stats.histogram("op_latency")[-1][0]
     if spec.capture_store_log:
         record.extra["store_log_ops"] = len(machine.hierarchy.store_log)
+    if oracle is not None:
+        record.extra["oracle_events"] = oracle.trace.total_events
+        record.extra["oracle_scans"] = oracle.violations_checked
     return record
 
 

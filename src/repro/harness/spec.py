@@ -38,7 +38,9 @@ from ..sim.config import (
 #: previously cached records (new stats, timing-model fixes, ...).
 #: 2: crash_plan joined the spec; rec-epoch advancement now merges
 #: before persisting the pointer (shifts background-write timing).
-CACHE_SCHEMA_VERSION = 2
+#: 3: oracle joined the spec; store logs carry the committing core and
+#: NVOverlay records gained finalize-time extras.
+CACHE_SCHEMA_VERSION = 3
 
 
 # --------------------------------------------------------------------------
@@ -146,6 +148,11 @@ class RunSpec:
     #: (repro.faults).  Part of the cache key: a crashed run's record
     #: must never collide with the clean run of the same cell.
     crash_plan: Optional[CrashPlan] = None
+    #: Arm the protocol oracle (repro.oracle): online invariant checks
+    #: plus event counts in ``record.extra``.  Observation-only — armed
+    #: runs are bit-identical — but part of the cache key so a cached
+    #: unchecked record never satisfies a checked request.
+    oracle: bool = False
 
     @property
     def resolved_config(self) -> SystemConfig:
@@ -183,6 +190,7 @@ class RunSpec:
             "capture_latency": spec.capture_latency,
             "capture_store_log": spec.capture_store_log,
             "crash_plan": spec.crash_plan.to_dict() if spec.crash_plan else None,
+            "oracle": spec.oracle,
         }
 
     @classmethod
@@ -200,6 +208,7 @@ class RunSpec:
                 CrashPlan.from_dict(data["crash_plan"])
                 if data.get("crash_plan") else None
             ),
+            oracle=data.get("oracle", False),
         )
 
     def cache_key(self) -> str:

@@ -17,20 +17,17 @@ execution.  These sweeps make it quantitative on the simulator:
 
 Each builds its ``RunSpec`` grid up front and runs it through one
 :class:`repro.harness.parallel.ParallelRunner` pass, so ``jobs=N``
-parallelizes the sweep and the on-disk cache skips unchanged points
-(``walk_rate_ablation`` is the one exception: it probes live simulator
-state mid-run, which cannot cross a process boundary or be cached, so
-it always executes in-process).  Each returns plain dicts the report
-module can render; the ablation benches under ``benchmarks/`` wrap them.
+parallelizes the sweep and the on-disk cache skips unchanged points.
+Each returns plain dicts the report module can render; the ablation
+benches under ``benchmarks/`` wrap them.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..core import NVOverlay, NVOverlayParams
-from ..sim import Machine, SystemConfig
-from ..workloads import make_workload
+from ..core import NVOverlayParams
+from ..sim import SystemConfig
 from .experiments import CacheOption, _runner
 from .parallel import ProgressCallback
 from .spec import RunSpec
@@ -217,41 +214,34 @@ def walk_rate_ablation(
     workload: str = "btree",
     scale: float = 0.5,
     base_config: Optional[SystemConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Tag-walker scan rate vs snapshot lag and write traffic.
 
-    Snapshot lag = final epoch minus the largest rec-epoch observed
-    *during* the run (before the finalize flush), i.e. how far behind
-    execution recoverability trails — the §IV-C trade-off.  The probe
-    reads live scheme state mid-run, so this sweep stays in-process and
-    uncached by design.
+    Snapshot lag = the epoch frontier at finalize minus the rec-epoch
+    right before the shutdown flush (``extra["final_epoch"]`` /
+    ``extra["rec_epoch_at_finalize"]`` on the record), i.e. how far
+    behind execution recoverability trails — the §IV-C trade-off.
     """
     base = base_config or SystemConfig()
+    specs = [
+        RunSpec(workload=workload, scheme="nvoverlay",
+                config=base.with_changes(tag_walk_rate=rate), scale=scale,
+                nvo_params=NVOverlayParams(num_omcs=2))
+        for rate in rates
+    ]
+    records = _runner(jobs, cache, progress).run(specs)
     result: Dict[int, Dict[str, float]] = {}
-    for rate in rates:
-        config = base.with_changes(tag_walk_rate=rate)
-        scheme = NVOverlay(NVOverlayParams(num_omcs=2))
-        machine = Machine(config, scheme=scheme)
-        wl = make_workload(workload, num_threads=config.num_cores, scale=scale)
-        lag_probe = {"max_rec": 0}
-
-        class Probe:
-            num_threads = wl.num_threads
-
-            def transactions(self, tid):
-                for txn in wl.transactions(tid):
-                    lag_probe["max_rec"] = max(
-                        lag_probe["max_rec"], scheme.cluster.rec_epoch
-                    )
-                    yield txn
-
-        machine.run(Probe())
-        final_epoch = max(vd.cur_epoch for vd in machine.hierarchy.vds)
+    for rate, record in zip(rates, records):
+        lag = record.extra["final_epoch"] - record.extra["rec_epoch_at_finalize"]
         result[rate] = {
-            "snapshot_lag_epochs": float(final_epoch - lag_probe["max_rec"]),
+            "snapshot_lag_epochs": float(lag),
             "tag_walk_writebacks": float(
-                machine.stats.get("evict_reason.tag_walk")
+                record.evict_reasons.get("tag_walk", 0)
             ),
-            "nvm_data_bytes": float(machine.nvm.bytes_written("data")),
+            "nvm_data_bytes": float(record.nvm_bytes.get("data", 0)),
         }
     return result

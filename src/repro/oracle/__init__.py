@@ -1,0 +1,24 @@
+"""Opt-in protocol oracle: online invariant checking, structured event
+tracing, and cross-scheme differential execution.
+
+Arm a run with ``Machine(..., oracle=ProtocolOracle())`` or
+``RunSpec(..., oracle=True)``; unarmed runs pay nothing (hooks bound at
+build time, same pattern as the fault injector).  See ``docs/api.md``
+("Invariant oracle & differential testing").
+"""
+
+from .trace import EVENT_KINDS, TraceBuffer, TraceEvent, format_window
+from .invariants import InvariantViolation, ProtocolOracle
+from .differential import DifferentialMismatch, compare_outcomes, run_differential
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceBuffer",
+    "TraceEvent",
+    "format_window",
+    "InvariantViolation",
+    "ProtocolOracle",
+    "DifferentialMismatch",
+    "compare_outcomes",
+    "run_differential",
+]

@@ -1,0 +1,118 @@
+"""Structured protocol-event tracing: a bounded ring of typed events.
+
+The oracle (``repro.oracle.invariants``) emits one :class:`TraceEvent`
+per protocol action — store commit, coherence transition, eviction,
+version write-back, walker pass, min-ver report, mapping-table merge,
+rec-epoch advance, epoch advance, sense flip — into a
+:class:`TraceBuffer`.  The buffer is a fixed-capacity ring (old events
+fall off the front), so an armed run's memory stays bounded no matter
+how long it executes, while the window preceding any invariant
+violation is always available for post-mortem inspection.
+
+Events export as JSONL (one JSON object per line) for offline tooling:
+``repro trace --protocol --out events.jsonl`` and the CI failure
+artifact both use :meth:`TraceBuffer.export_jsonl`.
+
+The tracer only ever *observes*: it never touches ``Stats``, cache LRU
+state or any other simulator structure, which is what keeps armed runs
+bit-identical to unarmed ones (see ``tests/test_bench.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Union
+
+#: Event kinds the oracle emits, for reference/validation in tooling.
+EVENT_KINDS = (
+    "store",
+    "coherence",
+    "eviction",
+    "writeback",
+    "epoch_advance",
+    "sense_flip",
+    "walker_pass",
+    "min_ver",
+    "merge",
+    "rec_epoch",
+)
+
+
+class TraceEvent:
+    """One protocol event: a sequence number, a cycle, a kind, fields."""
+
+    __slots__ = ("seq", "cycle", "kind", "data")
+
+    def __init__(self, seq: int, cycle: int, kind: str, data: Dict[str, Any]) -> None:
+        self.seq = seq
+        self.cycle = cycle
+        self.kind = kind
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"seq": self.seq, "cycle": self.cycle,
+                               "kind": self.kind}
+        out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"<{self.seq}@{self.cycle} {self.kind} {fields}>"
+
+
+class TraceBuffer:
+    """Bounded ring buffer of :class:`TraceEvent` with JSONL export."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be at least 1")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events emitted over the whole run (including those the ring
+        #: has already dropped).
+        self.total_events = 0
+        #: Per-kind emit counts over the whole run.
+        self.counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, cycle: int, **data: Any) -> TraceEvent:
+        """Record one event; returns it (the oracle attaches windows)."""
+        seq = self.total_events
+        self.total_events = seq + 1
+        event = TraceEvent(seq, cycle, kind, data)
+        self.events.append(event)
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        return event
+
+    def window(self, n: int = 32) -> List[TraceEvent]:
+        """The most recent ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        events = self.events
+        if len(events) <= n:
+            return list(events)
+        return list(events)[-n:]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def export_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the buffered events as JSONL; returns how many."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return len(self.events)
+
+
+def format_window(events: List[TraceEvent]) -> str:
+    """Human-readable rendering of an event window (violation reports)."""
+    if not events:
+        return "  (no events recorded)"
+    return "\n".join(f"  {event!r}" for event in events)

@@ -136,9 +136,12 @@ class Hierarchy:
         ]
 
         self._token = 0  # global store token (opaque "data")
-        #: Optional capture of (line, epoch, token, vd) per committed store,
-        #: used by tests to build golden snapshot images.
-        self.store_log: Optional[List[Tuple[int, int, int, int]]] = None
+        #: Optional capture of (line, epoch, token, vd, core) per committed
+        #: store, used by tests to build golden snapshot images and by the
+        #: differential checker to compare schemes (tokens are values of a
+        #: global counter, so only (core, per-core-index) identities are
+        #: comparable across schemes).
+        self.store_log: Optional[List[Tuple[int, int, int, int, int]]] = None
 
         # ---- hot-path acceleration state (caching only, no semantics) ----
         # Interned per-slice stat keys so the inner loop never builds
@@ -200,6 +203,15 @@ class Hierarchy:
         #: runs never evaluate an injector guard in the commit path.
         self._fault_injector = None
         self._fault_on_event = None
+        #: Optional protocol oracle (repro.oracle); set by Machine.  The
+        #: setter binds the per-event methods once, so unarmed runs never
+        #: evaluate an oracle guard beyond a ``is not None`` on a local.
+        self._oracle = None
+        self._oracle_on_store = None
+        self._oracle_on_writeback = None
+        self._oracle_on_eviction = None
+        self._oracle_on_epoch = None
+        self._oracle_on_coherence = None
 
     @property
     def fault_injector(self):
@@ -209,6 +221,26 @@ class Hierarchy:
     def fault_injector(self, injector) -> None:
         self._fault_injector = injector
         self._fault_on_event = injector.on_event if injector is not None else None
+
+    @property
+    def oracle(self):
+        return self._oracle
+
+    @oracle.setter
+    def oracle(self, oracle) -> None:
+        self._oracle = oracle
+        if oracle is None:
+            self._oracle_on_store = None
+            self._oracle_on_writeback = None
+            self._oracle_on_eviction = None
+            self._oracle_on_epoch = None
+            self._oracle_on_coherence = None
+        else:
+            self._oracle_on_store = oracle.on_store
+            self._oracle_on_writeback = oracle.on_writeback
+            self._oracle_on_eviction = oracle.on_eviction
+            self._oracle_on_epoch = oracle.on_epoch_advance
+            self._oracle_on_coherence = oracle.on_coherence
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -266,6 +298,9 @@ class Hierarchy:
         stall += self.scheme.on_epoch_advance(vd.id, old, new_epoch, now)
         vd.stall_until = max(vd.stall_until, now + stall)
         self._inc("epoch.advances")
+        oracle_hook = self._oracle_on_epoch
+        if oracle_hook is not None:
+            oracle_hook(vd, old, new_epoch, now)
         return stall
 
     # ------------------------------------------------------------------
@@ -385,7 +420,10 @@ class Hierarchy:
         except KeyError:
             self._inc("stores")
         if self.store_log is not None:
-            self.store_log.append((entry.line, epoch, token, vd.id))
+            self.store_log.append((entry.line, epoch, token, vd.id, core_id))
+        oracle_hook = self._oracle_on_store
+        if oracle_hook is not None:
+            oracle_hook(core_id, vd, entry, now)
         fault_hook = self._fault_on_event
         if fault_hook is not None:
             # The store has committed (and hit the log): a crash here is
@@ -733,6 +771,9 @@ class Hierarchy:
         fault_hook = self._fault_on_event
         if fault_hook is not None:
             fault_hook("eviction", now)
+        oracle_hook = self._oracle_on_eviction
+        if oracle_hook is not None:
+            oracle_hook(vd, entry, reason, now)
         line = entry.line
         latency = 0
         # Inclusive L2: member L1 copies must go.  Dirty L1 data merges
@@ -798,6 +839,11 @@ class Hierarchy:
         except KeyError:
             self._inc(key)
         latency += self.scheme.on_version_writeback(vd.id, line, oid, data, reason, now)
+        oracle_hook = self._oracle_on_writeback
+        if oracle_hook is not None:
+            # After the scheme call: the version has reached the OMC, so
+            # the oracle can check it is reachable where §V says it is.
+            oracle_hook(vd, line, oid, reason, now)
         # The OMC logically serves as the memory controller (§V): once a
         # version is persisted it is the newest servable copy of the
         # address, so the working image follows it.  Without this, a
@@ -1107,6 +1153,9 @@ class Hierarchy:
             self._recall_l1_copy(owner, peer, line, invalidate=False, now=now)
         entry = owner.l2.probe(line)
         assert entry is not None, "directory says owner but L2 has no copy"
+        oracle_hook = self._oracle_on_coherence
+        if oracle_hook is not None:
+            oracle_hook("downgrade", owner.id, line, entry.oid, now)
         self._downgrade_vd_l1s(owner, line, now)
         if entry.state >= MESI.M:
             self._inc("cst.load_downgrades" if self.versioned else "l2.downgrades")
@@ -1153,6 +1202,9 @@ class Hierarchy:
             self._recall_l1_copy(owner, peer, line, invalidate=True, now=now)
         entry = owner.l2.probe(line)
         assert entry is not None, "directory says owner but L2 has no copy"
+        oracle_hook = self._oracle_on_coherence
+        if oracle_hook is not None:
+            oracle_hook("invalidate_owner", owner.id, line, entry.oid, now)
         self._invalidate_vd_l1s(owner, line, exclude_core=None, now=now)
         if entry.state >= MESI.M:
             self._inc("coh.c2c_transfers")
@@ -1163,6 +1215,10 @@ class Hierarchy:
     def _invalidate_vd(self, vd: VDState, line: int, now: int) -> int:
         """Invalidate a clean sharer VD (its copies are persisted already)."""
         entry = vd.l2.probe(line)
+        oracle_hook = self._oracle_on_coherence
+        if oracle_hook is not None:
+            oracle_hook("invalidate_sharer", vd.id, line,
+                        entry.oid if entry is not None else 0, now)
         self._invalidate_vd_l1s(vd, line, exclude_core=None, now=now)
         if entry is not None:
             assert not entry.state >= MESI.M, "sharer VD holds dirty data"

@@ -53,6 +53,7 @@ class Machine:
         capture_latency: bool = False,
         capture_txn_wall: bool = False,
         fault_injector=None,
+        oracle=None,
     ) -> None:
         self.config = config or SystemConfig()
         self.scheme = scheme or NoSnapshot()
@@ -72,6 +73,12 @@ class Machine:
         #: simulation path is unchanged.
         self.fault_injector = fault_injector
         self.hierarchy.fault_injector = fault_injector
+        #: Protocol oracle (repro.oracle.ProtocolOracle) or None.  Same
+        #: contract as the injector: None leaves every hook unbound.
+        #: Set before attach so the scheme build is already observed;
+        #: bound after attach so the oracle sees the cluster/walkers.
+        self.oracle = oracle
+        self.hierarchy.oracle = oracle
         #: Record a per-operation latency histogram ("op_latency" /
         #: "txn_latency") — opt-in, it costs a few percent of runtime.
         self.capture_latency = capture_latency
@@ -83,6 +90,8 @@ class Machine:
         )
         self._global_stall_until = 0
         self.scheme.attach(self)
+        if oracle is not None:
+            oracle.bind(self)
 
     # -- scheme services ---------------------------------------------------
     def stall_all_cores_until(self, time: int) -> None:
@@ -126,6 +135,10 @@ class Machine:
         poll_hook = scheme.poll
         if getattr(poll_hook, "__func__", None) is SnapshotScheme.poll:
             poll_hook = None
+        # Transaction boundaries are quiescent points, so this is where
+        # the oracle may run its full structural scans (epoch advances
+        # fire mid-operation and are not safe scan points).
+        oracle_poll = self.oracle.poll if self.oracle is not None else None
         capture_latency = self.capture_latency
         txn_wall = self.txn_wall_samples
         perf_counter = time.perf_counter
@@ -161,6 +174,8 @@ class Machine:
                 txn_wall.append(perf_counter() - wall_start)
             if poll_hook is not None:
                 poll_hook(clock)
+            if oracle_poll is not None:
+                oracle_poll(clock)
 
             clocks[tid] = clock
             transactions += 1
@@ -171,6 +186,8 @@ class Machine:
         end = max(clocks.values(), default=0)
         end = max(end, self._global_stall_until)
         scheme.finalize(end)
+        if self.oracle is not None:
+            self.oracle.on_finalize(end)
         return RunResult(
             cycles=end,
             transactions=transactions,

@@ -15,8 +15,10 @@ from repro.harness.bench import (
     env_id,
     load_trajectory,
     run_bench,
+    run_fingerprint,
     run_scenario,
 )
+from repro.harness.spec import RunSpec
 
 
 def _result(name: str, ops_per_sec: float) -> BenchResult:
@@ -57,6 +59,23 @@ class TestScenarios:
     def test_run_bench_rejects_unknown_scenario(self):
         with pytest.raises(KeyError, match="unknown bench scenario"):
             run_bench(["nope"], quick=True)
+
+    def test_oracle_scenario_runs(self):
+        result = run_scenario(SCENARIOS["uniform_picl"], quick=True,
+                              repeats=1, oracle=True)
+        assert result.ops > 0
+
+
+class TestOracleFingerprint:
+    @pytest.mark.parametrize("scheme", ["nvoverlay", "picl"])
+    def test_armed_run_changes_no_fingerprint(self, scheme):
+        """The oracle is observation-only: arming it must not move a
+        single counter, cycle, or memory byte — only the spec key."""
+        spec = RunSpec(workload="uniform", scheme=scheme, scale=0.1)
+        plain = run_fingerprint(spec)
+        armed = run_fingerprint(spec.with_changes(oracle=True))
+        assert plain.pop("spec_key") != armed.pop("spec_key")
+        assert armed == plain
 
 
 class TestTrajectory:

@@ -38,7 +38,7 @@ class TestSingleCore:
         machine = run_script([[[store(ADDR)], [load(ADDR)]]])
         entry = machine.hierarchy.l1s[0].lookup(ADDR >> 6)
         assert entry.state == MESI.M
-        line, _epoch, token, _vd = machine.hierarchy.store_log[0]
+        line, _epoch, token, _vd, _core = machine.hierarchy.store_log[0]
         assert entry.data == token
 
     def test_exclusive_load_gets_e_state(self):

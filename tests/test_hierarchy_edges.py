@@ -37,7 +37,7 @@ class TestL1Replacement:
         machine.run(ScriptedWorkload([ops]))
         assert machine.stats.get("l1.dirty_evictions") > 0
         # Every token remains reachable through the hierarchy image.
-        golden = {line: token for line, _e, token, _vd in machine.hierarchy.store_log}
+        golden = {line: token for line, _e, token, *_ in machine.hierarchy.store_log}
         image = machine.hierarchy.memory_image()
         assert all(image.get(line) == token for line, token in golden.items())
 
@@ -47,7 +47,7 @@ class TestFlushHelpers:
         machine = Machine(tiny_config(), capture_store_log=True)
         machine.run(ScriptedWorkload([[[store(0x4000)], [store(0x8000)]]]))
         machine.hierarchy.flush_all(0)
-        golden = {line: token for line, _e, token, _vd in machine.hierarchy.store_log}
+        golden = {line: token for line, _e, token, *_ in machine.hierarchy.store_log}
         for line, token in golden.items():
             assert machine.mem.data_of(line) == token
 

@@ -88,7 +88,7 @@ class TestMOESICorrectness:
         machine.run(RandomWorkload(
             num_threads=4, txns_per_thread=300, shared_fraction=0.6, seed=seed
         ))
-        golden = {l: t for l, _e, t, _v in machine.hierarchy.store_log}
+        golden = {l: t for l, _e, t, _v, _c in machine.hierarchy.store_log}
         image = machine.hierarchy.memory_image()
         assert all(image.get(l) == t for l, t in golden.items())
         validate_hierarchy(machine.hierarchy)

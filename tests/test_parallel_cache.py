@@ -61,6 +61,7 @@ class TestRunSpec:
         ("capture_latency", True),
         ("capture_store_log", True),
         ("crash_plan", CrashPlan(event="store", count=7)),
+        ("oracle", True),
     ])
     def test_every_field_feeds_the_key(self, field, value):
         assert small_spec().cache_key() != small_spec(**{field: value}).cache_key()

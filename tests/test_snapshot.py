@@ -25,7 +25,7 @@ def run_nvo(workload, **config_overrides):
 
 class TestGoldenImage:
     def test_last_write_at_or_before_epoch_wins(self):
-        log = [(1, 1, 100, 0), (1, 2, 200, 0), (2, 3, 300, 1)]
+        log = [(1, 1, 100, 0, 0), (1, 2, 200, 0, 0), (2, 3, 300, 1, 2)]
         assert golden_image(log, 1) == {1: 100}
         assert golden_image(log, 2) == {1: 200}
         assert golden_image(log, 3) == {1: 200, 2: 300}
@@ -61,7 +61,7 @@ class TestCrashRecovery:
         )
         image = reader.recover()
         final_golden = {}
-        for line, _epoch, token, _vd in machine.hierarchy.store_log:
+        for line, _epoch, token, _vd, _core in machine.hierarchy.store_log:
             final_golden[line] = token
         assert image.lines == final_golden
 

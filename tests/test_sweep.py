@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.harness.cache import RunCache
 from repro.harness.sweep import (
     omc_count_ablation,
     protocol_ablation,
@@ -82,3 +83,13 @@ class TestWalkRate:
             data[2]["snapshot_lag_epochs"] >= data[512]["snapshot_lag_epochs"]
         )
         assert data[512]["tag_walk_writebacks"] >= data[2]["tag_walk_writebacks"]
+
+    def test_second_run_served_from_cache(self, tmp_path):
+        cache = RunCache(tmp_path)
+        kwargs = dict(rates=(2, 64), workload="uniform", scale=0.1,
+                      base_config=SMALL, cache=cache)
+        first = walk_rate_ablation(**kwargs)
+        assert cache.misses == 2 and cache.hits == 0
+        second = walk_rate_ablation(**kwargs)
+        assert cache.hits == 2
+        assert second == first

@@ -85,7 +85,7 @@ class TestIntegration:
         machine = Machine(tiny_config(), capture_store_log=True)
         result = machine.run(make_ycsb("a", num_threads=4))
         assert result.transactions == 240
-        golden = {l: t for l, _e, t, _v in machine.hierarchy.store_log}
+        golden = {l: t for l, _e, t, _v, _c in machine.hierarchy.store_log}
         image = machine.hierarchy.memory_image()
         assert all(image.get(l) == t for l, t in golden.items())
 

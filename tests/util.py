@@ -70,7 +70,7 @@ def final_image_matches_stores(machine: Machine) -> Tuple[int, int]:
     """(mismatches, total) between the hierarchy image and the store log."""
     assert machine.hierarchy.store_log is not None, "run with capture_store_log"
     golden: Dict[int, int] = {}
-    for line, _epoch, token, _vd in machine.hierarchy.store_log:
+    for line, _epoch, token, _vd, _core in machine.hierarchy.store_log:
         golden[line] = token
     image = machine.hierarchy.memory_image()
     mismatches = sum(1 for line, token in golden.items() if image.get(line) != token)
