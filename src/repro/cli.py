@@ -12,6 +12,8 @@ Commands:
   structured protocol-event trace as JSONL
 * ``diff``        — differential check: one workload trace replayed under
   several schemes, final images and snapshots cross-checked
+* ``scaling``     — sweep 4→64 cores across schemes, print the paper-style
+  overhead-vs-cores curve (``--oracle`` invariant-checks every run)
 * ``cache``       — inspect (``info``) or empty (``clear``) the result cache
 * ``bench``       — time the simulator itself; track ``BENCH_sim_throughput.json``
 
@@ -302,6 +304,45 @@ def _cmd_crash_sweep(args) -> int:
     return 0
 
 
+def _cmd_scaling(args) -> int:
+    from .harness.sweep import scaling_curve
+
+    try:
+        core_counts = [int(c) for c in args.cores.split(",")]
+    except ValueError:
+        print(f"error: --cores expects a comma-separated list of ints, "
+              f"got {args.cores!r}", file=sys.stderr)
+        return 2
+    schemes = tuple(args.schemes.split(","))
+    try:
+        data = scaling_curve(
+            core_counts=core_counts,
+            schemes=schemes,
+            workload=args.workload,
+            txns_per_core_scale=args.scale,
+            cores_per_vd=args.cores_per_vd,
+            num_sockets=args.sockets,
+            batch_epoch_sync=not args.no_batch,
+            oracle=args.oracle,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            progress=_print_progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = {f"{cores} cores": data[cores] for cores in core_counts}
+    columns = sorted(next(iter(rows.values())))
+    suffix = " [oracle armed]" if args.oracle else ""
+    print(report.format_table(
+        "Scaling: overhead vs cores" + suffix, columns, rows
+    ))
+    if args.oracle:
+        print("oracle: every run invariant-checked; zero violations",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -344,8 +385,20 @@ def _cmd_bench(args) -> int:
         failures = bench.check_regression(results, baseline,
                                           threshold=args.threshold)
         if baseline is None:
-            print(f"regression gate: skipped (no baseline for env "
-                  f"{bench.env_id()!r} in {path})", file=sys.stderr)
+            if args.allow_missing_baseline:
+                print(f"regression gate: skipped (no baseline for env "
+                      f"{bench.env_id()!r} in {path}; "
+                      f"--allow-missing-baseline)", file=sys.stderr)
+            else:
+                print(
+                    f"error: regression gate: no baseline entry for env "
+                    f"{bench.env_id()!r} in {path} — nothing to gate "
+                    f"against.\nRecord one first (run without --check, or "
+                    f"commit a trajectory entry for this environment), or "
+                    f"pass --allow-missing-baseline to skip the gate.",
+                    file=sys.stderr,
+                )
+                status = 1
         elif failures:
             for name in failures:
                 base = baseline["results"][name]["ops_per_sec"]
@@ -474,6 +527,32 @@ def build_parser() -> argparse.ArgumentParser:
                              "DIR/<workload>_<scheme>.jsonl (implies --oracle)")
     p_diff.set_defaults(func=_cmd_diff)
 
+    p_scaling = sub.add_parser(
+        "scaling",
+        help="sweep 4->64 cores and print the overhead-vs-cores curve",
+    )
+    p_scaling.add_argument("--cores", default="4,8,16,32,64",
+                           help="comma-separated core counts to sweep")
+    p_scaling.add_argument("--schemes", default="nvoverlay,picl",
+                           help="comma-separated schemes (vs the ideal "
+                                "baseline)")
+    p_scaling.add_argument("--workload", default="uniform",
+                           help="workload name (see `workloads`)")
+    p_scaling.add_argument("--scale", type=float, default=0.2,
+                           help="per-core operation-count multiplier")
+    p_scaling.add_argument("--cores-per-vd", type=int, default=2,
+                           help="Versioned Domain width at every size")
+    p_scaling.add_argument("--sockets", type=int, default=1,
+                           help="sockets the VDs/slices distribute over")
+    p_scaling.add_argument("--no-batch", action="store_true",
+                           help="disable batched epoch sync (per-store "
+                                "cross-VD announcements, the 16-core mode)")
+    p_scaling.add_argument("--oracle", action="store_true",
+                           help="arm the protocol invariant oracle on every "
+                                "run in the sweep")
+    parallel_opts(p_scaling)
+    p_scaling.set_defaults(func=_cmd_scaling)
+
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"])
     p_cache.set_defaults(func=_cmd_cache)
@@ -498,7 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="measure only; do not append to the trajectory")
     p_bench.add_argument("--check", action="store_true",
                          help="fail on ops/sec regression vs the last entry "
-                              "for this environment")
+                              "for this environment (also fails when no "
+                              "baseline exists for it)")
+    p_bench.add_argument("--allow-missing-baseline", action="store_true",
+                         help="with --check: skip the gate instead of "
+                              "failing when this environment has no "
+                              "baseline entry yet")
     p_bench.add_argument("--threshold", type=float,
                          default=BENCH_REGRESSION_THRESHOLD,
                          help="regression threshold as a fraction "

@@ -133,3 +133,46 @@ class SenseController:
 
 class EpochSkewError(RuntimeError):
     """Raised when VD epoch skew exceeds what the wire encoding can order."""
+
+
+class EpochSyncBatcher:
+    """Coalesces the cross-VD fallout of coherence-driven epoch syncs.
+
+    §III-C advances a VD's local epoch the moment a newer RV arrives in
+    a coherence response — that part must stay immediate, because the
+    version-ordering rules in the caches compare OIDs against the live
+    epoch register.  Everything the advance *announces* to the rest of
+    the system — the sense-controller update, the OMC context record,
+    the per-core context dump, the advance stall — can instead be
+    batched: one notification per transaction boundary that covers the
+    whole span of epochs the transaction synced through.
+
+    The batcher tracks, per VD, the epoch the last announcement left the
+    VD at (``None`` when nothing is pending).  A transaction that syncs
+    through several epochs produces a single pending record whose base
+    is the epoch before the first sync.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, num_vds: int) -> None:
+        self._base: list = [None] * num_vds
+
+    def note_advance(self, vd_id: int, old_epoch: int) -> bool:
+        """Record a deferred advance; returns True if it opened a batch."""
+        if self._base[vd_id] is None:
+            self._base[vd_id] = old_epoch
+            return True
+        return False
+
+    def pending(self, vd_id: int) -> bool:
+        return self._base[vd_id] is not None
+
+    def take(self, vd_id: int):
+        """Close the VD's batch, returning its base epoch (or None)."""
+        base = self._base[vd_id]
+        self._base[vd_id] = None
+        return base
+
+    def any_pending(self) -> bool:
+        return any(base is not None for base in self._base)

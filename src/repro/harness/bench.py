@@ -68,14 +68,25 @@ class BenchScenario:
     seed: int = 1
     #: Scale multiplier applied in ``--quick`` mode.
     quick_scale: float = 0.2
+    #: Core count; None keeps the default 16-core paper geometry, any
+    #: other value runs a ``SystemConfig.scaled`` machine with batched
+    #: epoch sync (the scale-out configuration).
+    cores: Optional[int] = None
 
     def spec(self, quick: bool = False) -> RunSpec:
         scale = self.scale * (self.quick_scale if quick else 1.0)
+        config = None
+        if self.cores is not None:
+            from ..sim import SystemConfig
+
+            config = SystemConfig.scaled(self.cores, batch_epoch_sync=True)
         return RunSpec(workload=self.workload, scheme=self.scheme,
-                       scale=scale, seed=self.seed)
+                       config=config, scale=scale, seed=self.seed)
 
 
-#: Micro (synthetic) and macro (data-structure) scenarios, paper pairing.
+#: Micro (synthetic) and macro (data-structure) scenarios, paper pairing,
+#: plus 64-core scale-out cells so the trajectory tracks the scaled
+#: geometry (sharded directory + batched epoch sync) PR over PR.
 SCENARIOS: Dict[str, BenchScenario] = {
     s.name: s
     for s in (
@@ -85,6 +96,9 @@ SCENARIOS: Dict[str, BenchScenario] = {
         BenchScenario("btree_picl", "btree", "picl", 0.5),
         BenchScenario("ycsb_a_nvoverlay", "ycsb_a", "nvoverlay", 0.5),
         BenchScenario("ycsb_a_picl", "ycsb_a", "picl", 0.5),
+        BenchScenario("uniform_nvoverlay_64c", "uniform", "nvoverlay", 0.5,
+                      cores=64),
+        BenchScenario("uniform_picl_64c", "uniform", "picl", 0.5, cores=64),
     )
 }
 

@@ -40,7 +40,9 @@ from ..sim.config import (
 #: before persisting the pointer (shifts background-write timing).
 #: 3: oracle joined the spec; store logs carry the committing core and
 #: NVOverlay records gained finalize-time extras.
-CACHE_SCHEMA_VERSION = 3
+#: 4: SystemConfig grew ``batch_epoch_sync`` (scale-out epoch batching),
+#: which joins the canonical config dict.
+CACHE_SCHEMA_VERSION = 4
 
 
 # --------------------------------------------------------------------------

@@ -7,6 +7,9 @@ execution.  These sweeps make it quantitative on the simulator:
 * ``scalability_sweep`` — NVOverlay's normalized overhead as the machine
   grows (cores and LLC slices scale together, workload per-core held
   constant): flat overhead = the scalability claim.
+* ``scaling_curve`` — the 4→64-core overhead-vs-cores curve across
+  several schemes at once (``repro scaling``), on ``SystemConfig.scaled``
+  geometries with batched epoch sync, optionally oracle-armed.
 * ``vd_size_ablation`` — cores per Versioned Domain (1/2/4/8): larger
   VDs synchronize epochs over more cores but suffer more intra-VD
   version churn.
@@ -67,6 +70,65 @@ def scalability_sweep(
             "nvm_bytes_per_store": nvo.total_nvm_bytes / max(nvo.stores, 1),
             "rec_epoch": nvo.extra["rec_epoch"],
         }
+    return result
+
+
+def scaling_curve(
+    core_counts: Sequence[int] = (4, 8, 16, 32, 64),
+    schemes: Sequence[str] = ("nvoverlay", "picl"),
+    workload: str = "uniform",
+    txns_per_core_scale: float = 0.2,
+    cores_per_vd: int = 2,
+    num_sockets: int = 1,
+    batch_epoch_sync: bool = True,
+    oracle: bool = False,
+    *,
+    jobs: Optional[int] = None,
+    cache: CacheOption = True,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[int, Dict[str, float]]:
+    """The paper-style overhead-vs-cores curve, multiple schemes at once.
+
+    Sweeps the machine from ``core_counts[0]`` up to 64+ cores using
+    :meth:`SystemConfig.scaled` geometries (per-core cache capacity and
+    per-VD epoch length held constant) and runs every scheme against the
+    ``ideal`` no-snapshot baseline at each size.  NVOverlay's per-VD
+    walkers should keep its curve flat while PiCL-style LLC walks
+    degrade — §VI's headline scalability claim.
+
+    ``batch_epoch_sync`` enables the scale-out epoch batching (on by
+    default here; the 16-core paper experiments leave it off).  With
+    ``oracle=True`` every run is invariant-checked — the sweep finishing
+    at all means zero violations across the grid.
+    """
+    specs: List[RunSpec] = []
+    all_schemes = ("ideal",) + tuple(schemes)
+    for cores in core_counts:
+        config = SystemConfig.scaled(
+            cores,
+            cores_per_vd=cores_per_vd,
+            num_sockets=num_sockets,
+            batch_epoch_sync=batch_epoch_sync,
+        )
+        for scheme in all_schemes:
+            specs.append(RunSpec(workload=workload, scheme=scheme,
+                                 config=config, scale=txns_per_core_scale,
+                                 oracle=oracle))
+    records = _runner(jobs, cache, progress).run(specs)
+    width = len(all_schemes)
+    result: Dict[int, Dict[str, float]] = {}
+    for index, cores in enumerate(core_counts):
+        ideal = records[width * index]
+        row: Dict[str, float] = {}
+        for offset, scheme in enumerate(schemes, start=1):
+            record = records[width * index + offset]
+            row[f"{scheme}.normalized_cycles"] = (
+                record.cycles / max(ideal.cycles, 1)
+            )
+            row[f"{scheme}.nvm_bytes_per_store"] = (
+                record.total_nvm_bytes / max(record.stores, 1)
+            )
+        result[cores] = row
     return result
 
 

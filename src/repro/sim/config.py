@@ -174,11 +174,38 @@ class SystemConfig:
     # Tag walker scan rate: L2 tags examined per 1000 cycles.
     tag_walk_rate: int = 64
 
+    #: Coalesce the cross-VD side effects of coherence-driven epoch
+    #: advances (§III-C) — sense update, OMC context record, per-core
+    #: context dump, advance stall — to one batch per transaction
+    #: boundary instead of firing them inside every synced store/load.
+    #: The *local* epoch register still advances immediately (version
+    #: ordering in the caches depends on it).  Off by default: the
+    #: 16-core paper geometry keeps its per-store timing; the scale-out
+    #: sweeps enable it.
+    batch_epoch_sync: bool = False
+
     def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if self.cores_per_vd < 1:
+            raise ValueError("cores_per_vd must be positive")
         if self.num_cores % self.cores_per_vd != 0:
-            raise ValueError("num_cores must be a multiple of cores_per_vd")
+            raise ValueError(
+                f"num_cores ({self.num_cores}) must be a multiple of "
+                f"cores_per_vd ({self.cores_per_vd})"
+            )
+        if self.llc_slices < 1:
+            raise ValueError("llc_slices must be positive")
         if self.llc_geometry.size_bytes % self.llc_slices != 0:
             raise ValueError("LLC size must divide evenly across slices")
+        slice_bytes = self.llc_geometry.size_bytes // self.llc_slices
+        slice_set_bytes = self.llc_geometry.ways * CACHE_LINE_SIZE
+        if slice_bytes % slice_set_bytes != 0:
+            raise ValueError(
+                f"LLC slice of {slice_bytes} B cannot form "
+                f"{self.llc_geometry.ways}-way sets of {CACHE_LINE_SIZE} B "
+                f"lines; adjust llc_slices ({self.llc_slices}) or ways"
+            )
         if self.epoch_bits < 4 or self.epoch_bits > 32:
             raise ValueError("epoch_bits must be in [4, 32]")
         if self.coherence_protocol not in ("mesi", "moesi"):
@@ -195,6 +222,19 @@ class SystemConfig:
             )
         if self.num_sockets < 1 or self.num_cores % self.num_sockets:
             raise ValueError("cores must divide evenly across sockets")
+        if self.num_sockets > 1:
+            # Multi-socket round-robin distribution only makes sense
+            # when every socket gets the same number of VDs and slices.
+            if self.num_vds % self.num_sockets:
+                raise ValueError(
+                    f"{self.num_vds} VDs cannot distribute evenly over "
+                    f"{self.num_sockets} sockets"
+                )
+            if self.llc_slices % self.num_sockets:
+                raise ValueError(
+                    f"{self.llc_slices} LLC slices cannot distribute "
+                    f"evenly over {self.num_sockets} sockets"
+                )
 
     @property
     def num_vds(self) -> int:
@@ -242,6 +282,43 @@ class SystemConfig:
             l2_geometry=CacheGeometry(256 * 1024, 8, 8),
             llc_geometry=CacheGeometry(32 * 1024 * 1024, 16, 30),
             epoch_size_stores=1_000_000,
+        )
+
+    @classmethod
+    def scaled(cls, num_cores: int, cores_per_vd: int = 2,
+               num_sockets: int = 1, **overrides) -> "SystemConfig":
+        """A consistent geometry for an arbitrary core count (4–64+).
+
+        Holds the *per-core* resources of the 16-core default constant:
+        the LLC grows linearly with cores, the slice count tracks
+        ``num_cores // 4`` (so per-slice capacity stays fixed), and the
+        system-wide epoch size scales so each VD sees the same epoch
+        length in its own stores.  Any field can still be overridden.
+        """
+        if num_cores < cores_per_vd:
+            raise ValueError(
+                f"num_cores ({num_cores}) must be at least cores_per_vd "
+                f"({cores_per_vd})"
+            )
+        base = cls()
+        slices = overrides.pop("llc_slices", max(2, num_cores // 4))
+        llc = overrides.pop("llc_geometry", CacheGeometry(
+            base.llc_geometry.size_bytes * num_cores // base.num_cores,
+            base.llc_geometry.ways,
+            base.llc_geometry.latency,
+        ))
+        epoch_stores = overrides.pop(
+            "epoch_size_stores",
+            max(1, base.epoch_size_stores * num_cores // base.num_cores),
+        )
+        return cls(
+            num_cores=num_cores,
+            cores_per_vd=cores_per_vd,
+            num_sockets=num_sockets,
+            llc_slices=slices,
+            llc_geometry=llc,
+            epoch_size_stores=epoch_stores,
+            **overrides,
         )
 
     @classmethod

@@ -110,6 +110,15 @@ class Hierarchy:
         self.snoop = config.coherence_transport == "snoop"
         #: Working data on NVM instead of the DRAM buffer (§III-B).
         self.working_nvm = config.working_memory == "nvm"
+        #: Batched epoch sync (scale-out mode): coherence-driven advances
+        #: move the local epoch register immediately but defer their
+        #: cross-VD side effects to the next transaction boundary.  The
+        #: lazy import avoids a sim <-> core cycle at module load.
+        self._epoch_batcher = None
+        if config.batch_epoch_sync and self.versioned:
+            from ..core.epoch import EpochSyncBatcher
+
+            self._epoch_batcher = EpochSyncBatcher(config.num_vds)
 
         self.l1s: List[CacheArray] = [
             CacheArray(config.l1_geometry, f"l1.{core}", stats)
@@ -126,12 +135,14 @@ class Hierarchy:
             CacheArray(config.llc_slice_geometry, f"llc.{s}", stats)
             for s in range(config.llc_slices)
         ]
-        self._dir: Dict[int, DirEntry] = {}
-        # Per-slice insertion-ordered line sets, for finite-directory
-        # victim selection (None capacity leaves these unused for choice
-        # but they are maintained regardless — the cost is negligible).
+        # Sharded directory: one independent insertion-ordered dict per
+        # LLC slice, owning exactly the lines that hash to that slice
+        # (address-interleaved, ``line % llc_slices``).  There is no
+        # global map — every lookup resolves its shard first, so slices
+        # never contend on shared structure and the per-shard insertion
+        # order doubles as the finite-directory victim queue.
         self._dir_capacity = config.directory_entries_per_slice
-        self._dir_lines: List[Dict[int, None]] = [
+        self._dir_shards: List[Dict[int, DirEntry]] = [
             {} for _ in range(config.llc_slices)
         ]
 
@@ -251,6 +262,15 @@ class Hierarchy:
     def slice_of(self, line: int) -> int:
         return line % self._num_slices
 
+    def dir_entry(self, line: int) -> Optional[DirEntry]:
+        """Directory lookup through the owning shard (validators/tests)."""
+        return self._dir_shards[line % self._num_slices].get(line)
+
+    def dir_items(self):
+        """Iterate (line, DirEntry) across every shard (validators/tests)."""
+        for shard in self._dir_shards:
+            yield from shard.items()
+
     def execute_op(self, core_id: int, op: MemOp, now: int) -> int:
         """Run one memory operation; returns its latency in cycles."""
         return self.execute_access(core_id, op.addr, op.size, op.kind == STORE, now)
@@ -292,15 +312,45 @@ class Hierarchy:
         if new_epoch <= vd.cur_epoch:
             return 0
         old = vd.cur_epoch
+        scheme_old = old
+        batcher = self._epoch_batcher
+        if batcher is not None:
+            # A pending batched sync folds into this advance: the scheme
+            # sees one announcement spanning base -> new_epoch.
+            base = batcher.take(vd.id)
+            if base is not None:
+                scheme_old = base
         vd.cur_epoch = new_epoch
         vd.store_count = 0
         stall = self.config.epoch_advance_stall
-        stall += self.scheme.on_epoch_advance(vd.id, old, new_epoch, now)
+        stall += self.scheme.on_epoch_advance(vd.id, scheme_old, new_epoch, now)
         vd.stall_until = max(vd.stall_until, now + stall)
         self._inc("epoch.advances")
         oracle_hook = self._oracle_on_epoch
         if oracle_hook is not None:
             oracle_hook(vd, old, new_epoch, now)
+        return stall
+
+    def flush_epoch_sync(self, vd: VDState, now: int) -> int:
+        """Announce a batched coherence-driven advance (boundary only).
+
+        No-op unless ``batch_epoch_sync`` is set and the VD synced its
+        epoch register forward since the last boundary.  Fires the
+        deferred scheme-side work — sense update, context record and
+        dump, advance stall — once, spanning the whole batch, plus one
+        explicit sync message on the interconnect.
+        """
+        batcher = self._epoch_batcher
+        if batcher is None:
+            return 0
+        base = batcher.take(vd.id)
+        if base is None:
+            return 0
+        stall = self.net.epoch_sync_notify(vd.id)
+        stall += self.config.epoch_advance_stall
+        stall += self.scheme.on_epoch_advance(vd.id, base, vd.cur_epoch, now)
+        vd.stall_until = max(vd.stall_until, now + stall)
+        self._inc("epoch.advances")
         return stall
 
     # ------------------------------------------------------------------
@@ -434,7 +484,7 @@ class Hierarchy:
     def _upgrade_for_store(self, vd: VDState, core_id: int, line: int, now: int) -> int:
         """S -> exclusive: invalidate peers (and other VDs if needed)."""
         latency = 0
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[line % self._num_slices].get(line)
         owner = dentry.owner if dentry is not None else None
         other_sharers = (
             bool(dentry.sharers - {vd.id}) if dentry is not None else False
@@ -479,7 +529,7 @@ class Hierarchy:
             self._counters[dir_key] += 1
         except KeyError:
             self._inc(dir_key)
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[slice_id].get(line)
         if dentry is None:
             dentry = self._dir_lookup_or_create(line, now)
         for other_id in sorted(dentry.holders() - {vd.id}):
@@ -528,7 +578,7 @@ class Hierarchy:
         if l2_entry is not None:  # LRU touch (lookup(touch=True))
             del l2_cache_set[line]
             l2_cache_set[line] = l2_entry
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[line % self._num_slices].get(line)
         vd_owns = dentry is not None and dentry.owner == vd.id
         vd_shares = dentry is not None and vd.id in dentry.sharers
 
@@ -584,7 +634,7 @@ class Hierarchy:
         else:
             net_latency, data, oid = self._inter_gets(vd, line, now + latency)
             dirty = False
-            dentry = self._dir.get(line)
+            dentry = self._dir_shards[line % self._num_slices].get(line)
             if dentry is None:
                 dentry = self._dir_lookup_or_create(line, now)
             state = MESI.E if dentry.owner == vd.id else MESI.S
@@ -752,7 +802,7 @@ class Hierarchy:
         return latency
 
     def _l2_fill_state(self, vd: VDState, line: int) -> MESI:
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[line % self._num_slices].get(line)
         return MESI.E if dentry is not None and dentry.owner == vd.id else MESI.S
 
     def _ensure_l2_room(self, vd: VDState, line: int, now: int) -> int:
@@ -805,13 +855,14 @@ class Hierarchy:
             self._counters["l2.evictions"] += 1
         except KeyError:
             self._inc("l2.evictions")
-        dentry = self._dir.get(line)
+        shard = self._dir_shards[line % self._num_slices]
+        dentry = shard.get(line)
         if dentry is not None:
             dentry.sharers.discard(vd.id)
             if dentry.owner == vd.id:
                 dentry.owner = None
             if dentry.is_empty() and not self._llc_has(line):
-                self._dir_del(line)
+                del shard[line]
         return latency
 
     def _version_writeback(
@@ -895,9 +946,10 @@ class Hierarchy:
             self._counters["llc.evictions"] += 1
         except KeyError:
             self._inc("llc.evictions")
-        dentry = self._dir.get(victim.line)
+        shard = self._dir_shards[victim.line % self._num_slices]
+        dentry = shard.get(victim.line)
         if dentry is not None and dentry.is_empty():
-            self._dir_del(victim.line)
+            del shard[victim.line]
         return latency
 
     def _memory_update(self, line: int, data: int, oid: int) -> None:
@@ -924,27 +976,29 @@ class Hierarchy:
     # Directory storage (finite capacity with back-invalidation)
     # ------------------------------------------------------------------
     def _dir_lookup_or_create(self, line: int, now: int) -> DirEntry:
-        """Find or allocate the directory entry, evicting one if full."""
-        dentry = self._dir.get(line)
+        """Find or allocate the directory entry, evicting one if full.
+
+        Entirely shard-local: allocation pressure in one slice's shard
+        (oldest-entry back-invalidation when ``directory_entries_per_slice``
+        is finite) never disturbs the other slices.
+        """
+        shard = self._dir_shards[self.slice_of(line)]
+        dentry = shard.get(line)
         if dentry is not None:
             return dentry
-        slice_id = self.slice_of(line)
-        tracked = self._dir_lines[slice_id]
         if (
             self._dir_capacity is not None
-            and len(tracked) >= self._dir_capacity
+            and len(shard) >= self._dir_capacity
         ):
-            victim = next(iter(tracked))
+            victim = next(iter(shard))
             self._dir_back_invalidate(victim, now)
             self._inc("dir.back_invalidations")
         dentry = DirEntry()
-        self._dir[line] = dentry
-        tracked[line] = None
+        shard[line] = dentry
         return dentry
 
     def _dir_del(self, line: int) -> None:
-        self._dir.pop(line, None)
-        self._dir_lines[self.slice_of(line)].pop(line, None)
+        self._dir_shards[self.slice_of(line)].pop(line, None)
 
     def _dir_back_invalidate(self, line: int, now: int) -> None:
         """Evict a directory entry: every holder must give the line up.
@@ -953,7 +1007,7 @@ class Hierarchy:
         nothing is lost; the latency is treated as directory-side
         background work (not charged to the requesting core).
         """
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[self.slice_of(line)].get(line)
         if dentry is None:
             return
         if dentry.owner is not None:
@@ -997,7 +1051,7 @@ class Hierarchy:
             self._counters[dir_key] += 1
         except KeyError:
             self._inc(dir_key)
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[slice_id].get(line)
         if dentry is None:
             dentry = self._dir_lookup_or_create(line, now)
 
@@ -1070,7 +1124,7 @@ class Hierarchy:
             self._counters[dir_key] += 1
         except KeyError:
             self._inc(dir_key)
-        dentry = self._dir.get(line)
+        dentry = self._dir_shards[slice_id].get(line)
         if dentry is None:
             dentry = self._dir_lookup_or_create(line, now)
 
@@ -1232,7 +1286,22 @@ class Hierarchy:
         if not self.versioned or rv <= vd.cur_epoch:
             return 0
         self._inc("epoch.coherence_syncs")
-        return self.advance_epoch(vd, rv, now)
+        batcher = self._epoch_batcher
+        if batcher is None:
+            return self.advance_epoch(vd, rv, now)
+        # Batched mode: the Lamport advance of the local register is
+        # immediate (the version protocol compares OIDs against it), but
+        # the announcement waits for the transaction boundary.  Several
+        # syncs inside one transaction coalesce into a single batch.
+        old = vd.cur_epoch
+        if batcher.note_advance(vd.id, old):
+            self._inc("epoch.sync_batches")
+        vd.cur_epoch = rv
+        vd.store_count = 0
+        oracle_hook = self._oracle_on_epoch
+        if oracle_hook is not None:
+            oracle_hook(vd, old, rv, now)
+        return 0
 
     # ------------------------------------------------------------------
     # Whole-hierarchy maintenance (used by walkers / finalize / recovery)

@@ -110,6 +110,21 @@ class Interconnect:
             self._inc("net.omc_msgs")
         return self.hop
 
+    def epoch_sync_notify(self, vd_id: Optional[int] = None) -> int:
+        """Batched epoch-advance announcement (VD -> master OMC).
+
+        With per-store synchronization the advance piggybacks on the
+        coherence reply that carried the RV (§III-C) — no separate
+        message exists.  Batching replaces those piggybacked updates
+        with one explicit notification per transaction boundary, which
+        is the message this models.
+        """
+        try:
+            self._counters["net.epoch_sync_msgs"] += 1
+        except KeyError:
+            self._inc("net.epoch_sync_msgs")
+        return self.hop
+
     def snoop_broadcast(self, num_vds: int) -> int:
         """Bus-snoop request: every VD sees (and must check) the request.
 

@@ -139,6 +139,13 @@ class Machine:
         # the oracle may run its full structural scans (epoch advances
         # fire mid-operation and are not safe scan points).
         oracle_poll = self.oracle.poll if self.oracle is not None else None
+        # Batched epoch sync drains at transaction boundaries; the local
+        # stays None (zero-cost) unless the config opted in.
+        epoch_flush = (
+            hierarchy.flush_epoch_sync
+            if hierarchy._epoch_batcher is not None
+            else None
+        )
         capture_latency = self.capture_latency
         txn_wall = self.txn_wall_samples
         perf_counter = time.perf_counter
@@ -155,7 +162,11 @@ class Machine:
                 continue
 
             if epoch_due(vd):
+                # advance_epoch folds any pending batched sync into one
+                # scheme announcement, so no separate flush is needed.
                 clock += hierarchy.advance_epoch(vd, vd.cur_epoch + 1, clock)
+            elif epoch_flush is not None:
+                clock += epoch_flush(vd, clock)
             if boundary_hook is not None:
                 clock += boundary_hook(tid, clock)
             if txn_wall is not None:

@@ -89,7 +89,7 @@ def check_version_order(hierarchy: Hierarchy) -> None:
 
 def check_directory_agreement(hierarchy: Hierarchy) -> None:
     holders = _holders_by_line(hierarchy)
-    for line, dentry in hierarchy._dir.items():
+    for line, dentry in hierarchy.dir_items():
         actual: Set[int] = {vd for vd, _state in holders.get(line, [])}
         registered = dentry.holders()
         unregistered = actual - registered
@@ -100,11 +100,20 @@ def check_directory_agreement(hierarchy: Hierarchy) -> None:
             )
     # And the reverse: no line held anywhere without a directory entry.
     for line, entries in holders.items():
-        if line not in hierarchy._dir:
+        if hierarchy.dir_entry(line) is None:
             raise InvariantViolation(
                 f"directory: line {line:#x} held by {entries} but has no "
                 "directory entry"
             )
+    # Shard/address-interleave agreement: a line must live only in the
+    # shard its address hashes to.
+    for slice_id, shard in enumerate(hierarchy._dir_shards):
+        for line in shard:
+            if hierarchy.slice_of(line) != slice_id:
+                raise InvariantViolation(
+                    f"directory: line {line:#x} stored in shard {slice_id} "
+                    f"but hashes to slice {hierarchy.slice_of(line)}"
+                )
 
 
 def validate_hierarchy(hierarchy: Hierarchy) -> None:

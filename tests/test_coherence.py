@@ -131,7 +131,7 @@ class TestInterVD:
             [[load(ADDR)]],
         ])
         # Directory ends with VD0 as owner and VD1 holding nothing valid.
-        dentry = machine.hierarchy._dir[ADDR >> 6]
+        dentry = machine.hierarchy.dir_entry(ADDR >> 6)
         assert dentry.owner == 0
         assert dentry.sharers == set()
 

@@ -24,8 +24,8 @@ class TestFiniteDirectory:
         machine = Machine(tiny_config(directory_entries_per_slice=16))
         machine.run(RandomWorkload(num_threads=4, txns_per_thread=300, seed=5))
         assert machine.stats.get("dir.back_invalidations") > 0
-        for slice_lines in machine.hierarchy._dir_lines:
-            assert len(slice_lines) <= 16
+        for shard in machine.hierarchy._dir_shards:
+            assert len(shard) <= 16
 
     def test_back_invalidation_preserves_dirty_data(self):
         machine = Machine(

@@ -18,6 +18,7 @@ import pytest
 
 from repro.harness.bench import run_fingerprint
 from repro.harness.spec import RunSpec
+from repro.sim.config import SystemConfig
 
 FIXTURE = Path(__file__).parent / "data" / "golden_parity.json"
 
@@ -25,13 +26,30 @@ with FIXTURE.open() as fh:
     _CELLS = json.load(fh)["cells"]
 
 
-@pytest.mark.parametrize(
-    "cell", _CELLS, ids=[f"{c['workload']}-{c['scheme']}" for c in _CELLS]
-)
+def _cell_id(cell):
+    cores = cell.get("cores")
+    geometry = "" if cores is None else f"-{cores}c"
+    if cell.get("batch_epoch_sync"):
+        geometry += "-batched"
+    return f"{cell['workload']}-{cell['scheme']}{geometry}"
+
+
+def _cell_config(cell):
+    """Geometry for a cell: default 16-core unless ``cores`` says else."""
+    cores = cell.get("cores")
+    if cores is None:
+        return None
+    return SystemConfig.scaled(
+        cores, batch_epoch_sync=cell.get("batch_epoch_sync", False)
+    )
+
+
+@pytest.mark.parametrize("cell", _CELLS, ids=[_cell_id(c) for c in _CELLS])
 def test_fingerprint_matches_seed(cell):
     spec = RunSpec(
         workload=cell["workload"],
         scheme=cell["scheme"],
+        config=_cell_config(cell),
         scale=cell["scale"],
         seed=cell["seed"],
     )
@@ -53,6 +71,16 @@ def test_fixture_covers_both_schemes_and_three_workloads():
     assert len(pairs) >= 6
     assert {s for _, s in pairs} == {"nvoverlay", "picl"}
     assert len({w for w, _ in pairs}) >= 3
+
+
+def test_fixture_pins_scaled_geometries():
+    """32- and 64-core fingerprints guard the scale-out refactors."""
+    cores = {c.get("cores") for c in _CELLS}
+    assert {None, 32, 64} <= cores
+    for scale in (32, 64):
+        schemes = {c["scheme"] for c in _CELLS if c.get("cores") == scale}
+        assert schemes == {"nvoverlay", "picl"}
+    assert any(c.get("batch_epoch_sync") for c in _CELLS)
 
 
 def test_fingerprint_is_deterministic():

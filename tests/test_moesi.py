@@ -32,7 +32,7 @@ class TestOwnedState:
         owner_l2 = machine.hierarchy.vds[0].l2.lookup(LINE, touch=False)
         assert owner_l2.state == MESI.O
         # Directory still records VD0 as owner, VD1 as sharer.
-        dentry = machine.hierarchy._dir[LINE]
+        dentry = machine.hierarchy.dir_entry(LINE)
         assert dentry.owner == 0
         assert 1 in dentry.sharers
 
