@@ -14,13 +14,19 @@ Commands:
   several schemes, final images and snapshots cross-checked
 * ``scaling``     — sweep 4→64 cores across schemes, print the paper-style
   overhead-vs-cores curve (``--oracle`` invariant-checks every run)
+* ``load``        — run a registered multi-tenant traffic scenario
+  (``--list`` enumerates the ``repro.load`` registry; ``--crash-at``
+  kills a worker mid-run, recovers, resumes)
 * ``cache``       — inspect (``info``) or empty (``clear``) the result cache
 * ``bench``       — time the simulator itself; track ``BENCH_sim_throughput.json``
 
-Simulating commands accept ``--jobs N`` (fan the experiment grid over a
-process pool) and ``--no-cache`` (bypass the on-disk result cache under
-``$REPRO_CACHE_DIR`` / ``~/.cache/repro``).  Per-cell progress streams
-to stderr; rendered tables go to stdout.
+The simulating commands (``run``/``bench``/``scaling``/``crash-sweep``/
+``load``) share one option surface: ``--jobs N`` (process-pool fan-out),
+``--no-cache`` (bypass the on-disk result cache under
+``$REPRO_CACHE_DIR`` / ``~/.cache/repro``), ``--oracle`` (arm the
+protocol invariant oracle) and ``--json`` (machine-readable JSON on
+stdout instead of tables).  Per-cell progress streams to stderr;
+rendered tables go to stdout.
 
 Examples::
 
@@ -29,6 +35,9 @@ Examples::
     python -m repro experiment fig11 --jobs 2 --scale 0.05
     python -m repro experiment fig13 --no-cache
     python -m repro crash-sweep --workload uniform --scale 0.1 --jobs 2
+    python -m repro load --list
+    python -m repro load --scenario burst --crash-at 0.5
+    python -m repro load --scenario steady --quick --oracle --json
     python -m repro cache info
     python -m repro trace --workload art --scale 0.1 --out art.trace
     python -m repro trace --protocol --workload btree --scheme nvoverlay \\
@@ -87,6 +96,13 @@ def _experiment_options(args) -> dict:
 
 def _print_progress(cell) -> None:
     print(report.progress_line(cell), file=sys.stderr)
+
+
+def _emit_json(payload) -> None:
+    """Machine-readable command output: one JSON document on stdout."""
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _render_table1() -> str:
@@ -156,8 +172,14 @@ def _render_fig17(args, opts) -> str:
 def _cmd_run(args) -> int:
     spec = RunSpec(workload=args.workload, scheme=args.scheme,
                    scale=args.scale, seed=args.seed, oracle=args.oracle)
+    if args.jobs and args.jobs > 1:
+        print("note: run simulates a single cell; --jobs has nothing to "
+              "fan out", file=sys.stderr)
     cache = None if args.no_cache else RunCache()
     record = run_one(spec, cache=cache)
+    if args.json:
+        _emit_json(record.to_dict())
+        return 0
     print(f"workload:      {record.workload}")
     print(f"scheme:        {record.scheme}")
     print(f"cycles:        {record.cycles:,}")
@@ -282,10 +304,31 @@ def _cmd_crash_sweep(args) -> int:
         event=args.event,
         every=args.every,
         max_points=args.max_points,
+        oracle=args.oracle,
         jobs=args.jobs or 1,
         cache=not args.no_cache,
         progress=_print_progress,
     )
+    if args.json:
+        _emit_json({
+            "workload": result.workload,
+            "event": result.event,
+            "total_events": result.total_events,
+            "points": [
+                {
+                    "event": p.plan.event,
+                    "count": p.plan.count,
+                    "crashed": p.crashed,
+                    "rec_epoch": p.rec_epoch,
+                    "matches": p.matches,
+                    "frontier_ok": p.frontier_ok,
+                    "ok": p.ok,
+                }
+                for p in result.points
+            ],
+            "ok": result.ok,
+        })
+        return 0 if result.ok or not result.points else 1
     print(f"workload:       {result.workload}")
     print(f"event stream:   {result.event} ({result.total_events:,} events)")
     print(f"crash points:   {len(result.points)}")
@@ -331,6 +374,14 @@ def _cmd_scaling(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        _emit_json({
+            "workload": args.workload,
+            "schemes": list(schemes),
+            "oracle": args.oracle,
+            "cores": {str(cores): data[cores] for cores in core_counts},
+        })
+        return 0
     rows = {f"{cores} cores": data[cores] for cores in core_counts}
     columns = sorted(next(iter(rows.values())))
     suffix = " [oracle armed]" if args.oracle else ""
@@ -356,28 +407,37 @@ def _cmd_bench(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    suffix = ("" if not args.quick else " (--quick)") + (
-        " [oracle armed]" if args.oracle else ""
-    )
-    print(report.format_table(
-        "simulator throughput" + suffix,
-        ["ops_per_sec", "seconds", "per_op_us_p50", "per_op_us_p95"],
-        {
-            name: {
-                "ops_per_sec": r.ops_per_sec,
-                "seconds": r.seconds,
-                "per_op_us_p50": r.per_op_us_p50,
-                "per_op_us_p95": r.per_op_us_p95,
-            }
-            for name, r in results.items()
-        },
-    ))
+    if args.jobs and args.jobs > 1:
+        print("note: bench times the simulator serially by design; "
+              "--jobs is accepted for CLI uniformity only", file=sys.stderr)
+    rows = {
+        name: {
+            "ops_per_sec": r.ops_per_sec,
+            "seconds": r.seconds,
+            "per_op_us_p50": r.per_op_us_p50,
+            "per_op_us_p95": r.per_op_us_p95,
+        }
+        for name, r in results.items()
+    }
+    if args.json:
+        _emit_json({"quick": args.quick, "oracle": args.oracle,
+                    "results": rows})
+    else:
+        suffix = ("" if not args.quick else " (--quick)") + (
+            " [oracle armed]" if args.oracle else ""
+        )
+        print(report.format_table(
+            "simulator throughput" + suffix,
+            ["ops_per_sec", "seconds", "per_op_us_p50", "per_op_us_p95"],
+            rows,
+        ))
 
     if args.oracle:
         # Armed numbers measure checking overhead, not simulator speed;
         # never let them into the trajectory or gate against it.
         return 0
-    path = Path(args.json) if args.json else bench.default_trajectory_path()
+    path = (Path(args.trajectory) if args.trajectory
+            else bench.default_trajectory_path())
     baseline = bench.baseline_entry(bench.load_trajectory(path),
                                     quick=args.quick)
     status = 0
@@ -410,12 +470,100 @@ def _cmd_bench(args) -> int:
                 )
             status = 1
         else:
-            print(f"regression gate: OK vs {baseline['label']!r}",
-                  file=sys.stderr)
+            deltas = {
+                name: results[name].ops_per_sec
+                / baseline["results"][name]["ops_per_sec"] - 1.0
+                for name in results
+                if name in baseline.get("results", {})
+                and baseline["results"][name].get("ops_per_sec")
+            }
+            worst = min(deltas, key=deltas.get) if deltas else None
+            detail = (
+                f"worst delta {deltas[worst]:+.1%} on {worst!r}, within the "
+                f"{args.threshold:.0%} threshold" if worst is not None
+                else "no overlapping scenarios to compare"
+            )
+            print(
+                f"regression gate: OK vs {baseline['label']!r} ({detail}).\n"
+                f"Committed numbers carry host noise; for a real verdict on "
+                f"a perf-sensitive change, run the paired host A/B protocol "
+                f"(EXPERIMENTS.md, 'Simulator throughput').",
+                file=sys.stderr,
+            )
     if not args.no_update:
         bench.append_entry(path, results, label=args.label, quick=args.quick)
         print(f"recorded entry in {path}", file=sys.stderr)
     return status
+
+
+def _cmd_load(args) -> int:
+    from . import load as load_pkg  # lazy: pulls in harness + faults
+
+    if args.list:
+        for name in load_pkg.scenario_names():
+            scenario = load_pkg.get_scenario(name)
+            crash = " [crash]" if scenario.crash else ""
+            print(f"{name:16} {scenario.description}{crash}")
+        return 0
+    if not args.scenario:
+        print("error: pick a scenario with --scenario NAME (or --list)",
+              file=sys.stderr)
+        return 2
+    config = None
+    if args.epoch_stores is not None:
+        from .sim import SystemConfig
+
+        config = SystemConfig(epoch_size_stores=args.epoch_stores)
+    try:
+        result = load_pkg.run_scenario(
+            args.scenario,
+            scale=args.scale,
+            seed=args.seed,
+            quick=args.quick,
+            crash_at=args.crash_at,
+            oracle=args.oracle,
+            config=config,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            progress=_print_progress,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.artifact:
+        path = _write_load_artifact(args.artifact, result)
+        print(f"artifact: {path}", file=sys.stderr)
+    if args.json:
+        _emit_json(result.to_json())
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def _write_load_artifact(directory: str, result) -> str:
+    """JSONL artifact: a meta line, one line per scheme, one crash line."""
+    import json
+    from pathlib import Path
+
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"load_{result.scenario}.jsonl"
+    payload = result.to_json()
+    records = payload.pop("records")
+    crash = payload.pop("crash")
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"kind": "meta", **payload},
+                            sort_keys=True) + "\n")
+        for name, record in sorted(records.items()):
+            fh.write(json.dumps({"kind": "record", "scheme": name, **record},
+                                sort_keys=True) + "\n")
+        if crash is not None:
+            fh.write(json.dumps({"kind": "crash", **crash},
+                                sort_keys=True) + "\n")
+    return str(path)
 
 
 def _cmd_cache(args) -> int:
@@ -457,11 +605,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk result cache")
 
+    def unified_opts(p, oracle_help="arm the protocol invariant oracle "
+                                    "(repro.oracle)"):
+        """The one option surface every simulating command exposes."""
+        parallel_opts(p)
+        p.add_argument("--oracle", action="store_true", help=oracle_help)
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON on stdout instead of "
+                            "tables")
+
     p_run = sub.add_parser("run", help="run one workload under one scheme")
     common(p_run, with_scheme=True)
-    parallel_opts(p_run, with_jobs=False)
-    p_run.add_argument("--oracle", action="store_true",
-                       help="arm the protocol invariant oracle (repro.oracle)")
+    unified_opts(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_compare = sub.add_parser("compare", help="run every scheme on a workload")
@@ -484,7 +639,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash NVOverlay at many points and verify recovery",
     )
     common(p_sweep)
-    parallel_opts(p_sweep)
+    unified_opts(p_sweep, oracle_help="arm the protocol invariant oracle on "
+                                      "every pre-crash run")
     p_sweep.add_argument("--event", default="any",
                          choices=["any", "store", "eviction", "walker_pass",
                                   "merge", "buffer_write"],
@@ -547,11 +703,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_scaling.add_argument("--no-batch", action="store_true",
                            help="disable batched epoch sync (per-store "
                                 "cross-VD announcements, the 16-core mode)")
-    p_scaling.add_argument("--oracle", action="store_true",
-                           help="arm the protocol invariant oracle on every "
-                                "run in the sweep")
-    parallel_opts(p_scaling)
+    unified_opts(p_scaling, oracle_help="arm the protocol invariant oracle "
+                                        "on every run in the sweep")
     p_scaling.set_defaults(func=_cmd_scaling)
+
+    p_load = sub.add_parser(
+        "load",
+        help="run a registered multi-tenant traffic scenario (repro.load)",
+    )
+    p_load.add_argument("--scenario", default=None,
+                        help="scenario name from the registry (see --list)")
+    p_load.add_argument("--list", action="store_true",
+                        help="list registered scenarios and exit")
+    p_load.add_argument("--scale", type=float, default=1.0,
+                        help="traffic multiplier (1.0 = full production run)")
+    p_load.add_argument("--seed", type=int, default=1)
+    p_load.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: cap the scale at the quick "
+                             "smoke scale")
+    p_load.add_argument("--crash-at", type=float, default=None,
+                        metavar="FRAC",
+                        help="kill a worker at this fraction of the store "
+                             "stream (0, 1); recovery is verified and the "
+                             "remaining traffic resumes")
+    p_load.add_argument("--epoch-stores", type=int, default=None,
+                        help="override epoch size in stores (smaller = more "
+                             "recoverable epochs in short runs)")
+    p_load.add_argument("--artifact", default=None, metavar="DIR",
+                        help="also write DIR/load_<scenario>.jsonl (meta + "
+                             "per-scheme records + crash leg)")
+    unified_opts(p_load)
+    p_load.set_defaults(func=_cmd_load)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"])
@@ -568,7 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="timed repeats per scenario; best is kept")
     p_bench.add_argument("--profile", type=int, default=0, metavar="N",
                          help="also cProfile each scenario; print top N frames")
-    p_bench.add_argument("--json", default=None, metavar="PATH",
+    p_bench.add_argument("--trajectory", default=None, metavar="PATH",
                          help="trajectory file (default: repo-root "
                               "BENCH_sim_throughput.json)")
     p_bench.add_argument("--label", default="manual run",
@@ -587,10 +769,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=BENCH_REGRESSION_THRESHOLD,
                          help="regression threshold as a fraction "
                               "(default 0.20)")
-    p_bench.add_argument("--oracle", action="store_true",
-                         help="arm the invariant oracle inside the timed "
-                              "region (measures checking overhead; never "
-                              "recorded or gated)")
+    unified_opts(p_bench, oracle_help="arm the invariant oracle inside the "
+                                      "timed region (measures checking "
+                                      "overhead; never recorded or gated)")
     p_bench.set_defaults(func=_cmd_bench)
 
     return parser

@@ -25,7 +25,7 @@ events, then one verified run per crash point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..core.snapshot import SnapshotReader, golden_image
@@ -67,6 +67,12 @@ class CrashVerification:
     event_totals: Dict[str, int]
     aborted_merges: int
     drained_buffer_entries: int
+    #: The full recovered image (line -> data) — what ``Machine.load_image``
+    #: installs for the resume-after-crash flow (repro.load worker failure).
+    recovered_image: Dict[int, int] = field(default_factory=dict)
+    #: The crashed run's ``Stats`` (store/op latency histograms when the
+    #: spec captured latency).  In-process use only; never serialized.
+    stats: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -88,11 +94,20 @@ def verify_crash(spec: RunSpec, plan: Optional[CrashPlan]) -> CrashVerification:
     config = spec.resolved_config
     scheme = make_scheme(spec.scheme, spec.nvo_params)
     injector = FaultInjector(plan)
+    oracle = None
+    if spec.oracle:
+        # Armed crash runs: every pre-crash event is invariant-checked
+        # (lazy import, as in the runner — armed runs pay for it alone).
+        from ..oracle import ProtocolOracle
+
+        oracle = ProtocolOracle()
     machine = Machine(
         config,
         scheme=scheme,
         capture_store_log=True,
+        capture_latency=spec.capture_latency,
         fault_injector=injector,
+        oracle=oracle,
     )
     workload = make_workload(
         spec.workload, num_threads=config.num_cores, scale=spec.scale,
@@ -106,6 +121,12 @@ def verify_crash(spec: RunSpec, plan: Optional[CrashPlan]) -> CrashVerification:
 
     cluster = scheme.cluster
     assert cluster is not None
+    if oracle is not None:
+        # Disarm before recovery: replaying surviving state is not
+        # protocol traffic, and the checkers would misread it.
+        machine.oracle = None
+        machine.hierarchy.oracle = None
+        cluster.oracle = None
     now = crash.now if crash is not None else 0
     # Recovery, on the surviving state only:
     # 1. roll back mapping-table merges that never committed;
@@ -150,6 +171,8 @@ def verify_crash(spec: RunSpec, plan: Optional[CrashPlan]) -> CrashVerification:
         event_totals=injector.event_totals(),
         aborted_merges=aborted,
         drained_buffer_entries=drained,
+        recovered_image=dict(image.lines),
+        stats=machine.stats,
     )
 
 
@@ -187,6 +210,12 @@ def crashed_run_record(spec: RunSpec) -> RunRecord:
     extra["mismatched_lines"] = len(verification.mismatches)
     extra["aborted_merges"] = verification.aborted_merges
     extra["drained_buffer_entries"] = verification.drained_buffer_entries
+    if spec.capture_latency and verification.stats is not None:
+        stats = verification.stats
+        extra["op_latency_p95"] = stats.percentile("op_latency", 0.95)
+        extra["op_latency_p99"] = stats.percentile("op_latency", 0.99)
+        extra["store_latency_p95"] = stats.percentile("store_latency", 0.95)
+        extra["store_latency_p99"] = stats.percentile("store_latency", 0.99)
     for event, count in verification.event_totals.items():
         extra[f"fault_events_{event}"] = count
     return record
@@ -239,6 +268,7 @@ def crash_sweep(
     event: str = ANY_EVENT,
     every: Optional[int] = None,
     max_points: Optional[int] = None,
+    oracle: bool = False,
     jobs: Optional[int] = 1,
     cache: Union[None, bool, Any] = False,
     progress=None,
@@ -249,11 +279,12 @@ def crash_sweep(
     points are then placed every ``every`` events (default: ~20 points
     across the run), capped at ``max_points``.  All runs go through the
     standard harness, so ``jobs`` and ``cache`` behave as everywhere
-    else and repeated sweeps are answered from the cache.
+    else and repeated sweeps are answered from the cache.  ``oracle``
+    arms the protocol oracle on every pre-crash run.
     """
     base = RunSpec(
         workload=workload, scheme="nvoverlay", config=config, scale=scale,
-        seed=seed, nvo_params=nvo_params,
+        seed=seed, nvo_params=nvo_params, oracle=oracle,
     )
     runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
     probe = base.with_changes(crash_plan=CrashPlan(event=event, count=PROBE_COUNT))

@@ -4,17 +4,22 @@
 ``RunSpec``, runs it to completion and distils the statistics every
 figure consumes: wall-clock cycles, NVM bytes by category, evict-reason
 decomposition, metadata sizes, bandwidth series.  ``run_one`` wraps it
-with optional result caching and a deprecation shim for the old
-six-kwarg call form; ``compare`` sweeps schemes over one workload
-(optionally in parallel, via :class:`repro.harness.parallel.ParallelRunner`),
-normalizing cycles to the ideal (no-snapshot) run the way Fig. 11 does.
+with optional result caching; ``compare`` sweeps schemes over one
+workload (optionally in parallel, via
+:class:`repro.harness.parallel.ParallelRunner`), normalizing cycles to
+the ideal (no-snapshot) run the way Fig. 11 does.  Both take a
+:class:`RunSpec` — the PR-1 legacy six-kwarg call form is gone.
+
+Workloads may define ``record_extras(machine) -> dict``: the runner
+merges its result into ``record.extra`` after the run, which is how the
+multi-tenant load workloads attribute NVM wear back to tenants without
+the runner knowing anything about tenancy.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import (
     HWShadowPaging,
@@ -25,7 +30,7 @@ from ..baselines import (
     SWUndoLogging,
 )
 from ..core import NVOverlay, NVOverlayParams
-from ..sim import Machine, SystemConfig
+from ..sim import Machine
 from ..sim.scheme import SnapshotScheme
 from ..workloads import make_workload
 from .spec import RunSpec
@@ -176,66 +181,36 @@ def simulate(spec: RunSpec) -> RunRecord:
     record.extra["coherence_syncs"] = stats.get("epoch.coherence_syncs")
     if spec.capture_latency:
         record.extra["op_latency_p50"] = stats.percentile("op_latency", 0.50)
+        record.extra["op_latency_p95"] = stats.percentile("op_latency", 0.95)
         record.extra["op_latency_p99"] = stats.percentile("op_latency", 0.99)
         record.extra["op_latency_p999"] = stats.percentile("op_latency", 0.999)
         record.extra["op_latency_max_bucket"] = stats.histogram("op_latency")[-1][0]
+        record.extra["store_latency_p95"] = stats.percentile("store_latency", 0.95)
+        record.extra["store_latency_p99"] = stats.percentile("store_latency", 0.99)
     if spec.capture_store_log:
         record.extra["store_log_ops"] = len(machine.hierarchy.store_log)
     if oracle is not None:
         record.extra["oracle_events"] = oracle.trace.total_events
         record.extra["oracle_scans"] = oracle.violations_checked
+    extras_hook = getattr(workload, "record_extras", None)
+    if extras_hook is not None:
+        record.extra.update(extras_hook(machine))
     return record
 
 
-def _legacy_spec(
-    workload_name: str,
-    scheme_name: Optional[str],
-    config: Optional[SystemConfig],
-    scale: float,
-    seed: int,
-    nvo_params: Optional[NVOverlayParams],
-    caller: str,
-) -> RunSpec:
-    if scheme_name is None and caller == "run_one":
-        raise TypeError("run_one(workload, scheme, ...) needs a scheme name")
-    warnings.warn(
-        f"{caller}({workload_name!r}, ...) with loose kwargs is deprecated; "
-        f"pass a RunSpec instead: {caller}(RunSpec(workload=..., ...))",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return RunSpec(
-        workload=workload_name,
-        scheme=scheme_name or "ideal",
-        config=config,
-        scale=scale,
-        seed=seed,
-        nvo_params=nvo_params,
-    )
+def _require_spec(spec: Any, caller: str) -> None:
+    if not isinstance(spec, RunSpec):
+        raise TypeError(
+            f"{caller}() takes a RunSpec, got {type(spec).__name__}; the "
+            f"legacy {caller}(workload, ...) kwargs form was removed — "
+            f"build the cell explicitly: "
+            f"{caller}(RunSpec(workload=..., scheme=..., scale=...))"
+        )
 
 
-def run_one(
-    spec: Union[RunSpec, str],
-    scheme_name: Optional[str] = None,
-    config: Optional[SystemConfig] = None,
-    scale: float = 1.0,
-    seed: int = 1,
-    nvo_params: Optional[NVOverlayParams] = None,
-    *,
-    cache=None,
-) -> RunRecord:
-    """Run one cell, consulting ``cache`` (a ``RunCache``) when given.
-
-    The canonical form is ``run_one(RunSpec(...))``; the legacy
-    ``run_one(workload, scheme, config=..., ...)`` form still works but
-    emits a ``DeprecationWarning``.
-    """
-    if isinstance(spec, RunSpec):
-        if scheme_name is not None:
-            raise TypeError("run_one(spec) does not take a scheme name")
-    else:
-        spec = _legacy_spec(spec, scheme_name, config, scale, seed, nvo_params,
-                            caller="run_one")
+def run_one(spec: RunSpec, *, cache=None) -> RunRecord:
+    """Run one cell, consulting ``cache`` (a ``RunCache``) when given."""
+    _require_spec(spec, "run_one")
     if cache is not None:
         cached = cache.get(spec)
         if cached is not None:
@@ -276,12 +251,8 @@ def comparison_specs(
 
 
 def compare(
-    workload: Union[RunSpec, str],
+    template: RunSpec,
     scheme_names: Optional[List[str]] = None,
-    config: Optional[SystemConfig] = None,
-    scale: float = 1.0,
-    seed: int = 1,
-    nvo_params: Optional[NVOverlayParams] = None,
     *,
     jobs: Optional[int] = None,
     cache=False,
@@ -289,18 +260,12 @@ def compare(
 ) -> Dict[str, RunRecord]:
     """Run several schemes (plus the ideal baseline) on one workload.
 
-    ``workload`` is a :class:`RunSpec` template (its ``scheme`` field is
-    ignored — every compared scheme is substituted in); the legacy
-    workload-name + kwargs form still works behind a
-    ``DeprecationWarning``.  ``jobs``/``cache`` (or a pre-built
-    ``runner``) fan the schemes out over a process pool and/or the
-    on-disk result cache; the default stays serial and uncached.
+    ``template`` is a :class:`RunSpec` whose ``scheme`` field is ignored
+    — every compared scheme is substituted in.  ``jobs``/``cache`` (or a
+    pre-built ``runner``) fan the schemes out over a process pool and/or
+    the on-disk result cache; the default stays serial and uncached.
     """
-    if isinstance(workload, RunSpec):
-        template = workload
-    else:
-        template = _legacy_spec(workload, "ideal", config, scale, seed,
-                                nvo_params, caller="compare")
+    _require_spec(template, "compare")
     specs = comparison_specs(template, scheme_names)
     from .parallel import ParallelRunner  # local import: avoids a cycle
 

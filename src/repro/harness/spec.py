@@ -42,7 +42,11 @@ from ..sim.config import (
 #: NVOverlay records gained finalize-time extras.
 #: 4: SystemConfig grew ``batch_epoch_sync`` (scale-out epoch batching),
 #: which joins the canonical config dict.
-CACHE_SCHEMA_VERSION = 4
+#: 5: capture_latency records gained op_latency_p95 + store-only
+#: store_latency_p95/p99 extras, and workloads may contribute
+#: ``record_extras`` (multi-tenant load attribution) — cached records
+#: from schema 4 would be missing those fields.
+CACHE_SCHEMA_VERSION = 5
 
 
 # --------------------------------------------------------------------------

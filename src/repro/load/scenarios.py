@@ -1,0 +1,354 @@
+"""Scenario registry + runners for production-style load evaluation.
+
+A *scenario* names one service-level traffic situation — which tenant
+workload drives the machine and whether a worker dies mid-run.  All
+scenarios live in one registry that the CLI (``repro load``), the
+harness and the tests discover through; nothing hardcodes scenario
+lists anywhere else.
+
+Every scenario runs the standard two-cell comparison (``ideal`` vs
+``nvoverlay``) through :class:`repro.harness.parallel.ParallelRunner`
+with latency capture on, so results cache, fan out and report exactly
+like every other experiment.  Crash scenarios additionally compose with
+``repro.faults``: the run is crashed at a chosen store count, recovery
+is verified against the golden store-log replay, and the recovered
+image is loaded into a fresh machine that resumes the *remaining*
+traffic window — "node dies mid-burst, recover, resume" as one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..faults.plan import CrashPlan
+from ..harness import report
+from ..harness.parallel import ParallelRunner
+from ..harness.runner import RunRecord, make_scheme
+from ..harness.spec import RunSpec
+from ..sim import Machine
+from ..workloads import TenantLoadWorkload, make_workload
+
+#: Scale used by ``--quick`` (CI smoke) runs.
+QUICK_SCALE = 0.02
+
+#: Default crash point for crash scenarios: the middle of the run's
+#: store stream, which for the burst pattern lands inside the burst.
+DEFAULT_CRASH_AT = 0.5
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered traffic scenario."""
+
+    name: str
+    description: str
+    #: Registered workload driving the machine (see repro.workloads.tenant).
+    workload: str
+    #: Crash a worker mid-run, verify recovery, resume the tail.
+    crash: bool = False
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (duplicate names are an error)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"duplicate scenario {scenario.name!r}")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+register_scenario(Scenario(
+    "steady",
+    "flat multi-tenant arrivals (Zipf tenants and keys, mixed classes)",
+    "load_steady",
+))
+register_scenario(Scenario(
+    "burst",
+    "mid-run arrival burst: burst-prone classes flood in, requests double",
+    "load_burst",
+))
+register_scenario(Scenario(
+    "diurnal",
+    "day/night intensity wave with batch work shifted off-peak",
+    "load_diurnal",
+))
+register_scenario(Scenario(
+    "worker_failure",
+    "node dies mid-burst, recovers from NVM, resumes the remaining traffic",
+    "load_burst",
+    crash=True,
+))
+
+
+@dataclass
+class LoadResult:
+    """Everything one scenario run produced, ready to render or dump."""
+
+    scenario: str
+    workload: str
+    scale: float
+    seed: int
+    oracle: bool
+    #: Per-scheme records (``ideal`` + ``nvoverlay``), the standard shape.
+    records: Dict[str, RunRecord] = field(default_factory=dict)
+    #: Scheme summary rows for ``report.format_table``.
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-tenant-class rows (requests, NVM bytes, write amplification).
+    class_rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Crash/recover/resume leg outcome (crash scenarios only).
+    crash: Optional[Dict[str, Any]] = None
+
+    @property
+    def accesses(self) -> int:
+        """Total tenant accesses driven (clean run + resumed tail)."""
+        record = self.records.get("nvoverlay")
+        total = int(record.extra.get("tenant_accesses", 0)) if record else 0
+        if self.crash is not None:
+            total += int(self.crash.get("resumed_accesses", 0))
+        return total
+
+    @property
+    def tenants(self) -> int:
+        record = self.records.get("nvoverlay")
+        return int(record.extra.get("tenants", 0)) if record else 0
+
+    @property
+    def ok(self) -> bool:
+        """False only when a crash leg failed verification."""
+        return self.crash is None or bool(self.crash.get("ok"))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "workload": self.workload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "oracle": self.oracle,
+            "accesses": self.accesses,
+            "tenants": self.tenants,
+            "ok": self.ok,
+            "rows": self.rows,
+            "class_rows": self.class_rows,
+            "crash": self.crash,
+            "records": {name: r.to_dict() for name, r in self.records.items()},
+        }
+
+    def render(self) -> str:
+        """The standard report-path rendering (ASCII tables + verdicts)."""
+        title = (
+            f"load scenario {self.scenario!r} "
+            f"(workload {self.workload}, scale {self.scale}, "
+            f"{self.tenants} tenants, {self.accesses:,} accesses)"
+        )
+        parts = [report.format_table(
+            title,
+            ["norm_cycles", "store_p95", "store_p99", "wamp_mean",
+             "wamp_p95", "nvm_mb"],
+            self.rows,
+        )]
+        if self.class_rows:
+            parts.append(report.format_table(
+                "per-tenant-class snapshot overhead (nvoverlay)",
+                ["tenants", "requests", "nvm_mb", "write_amp"],
+                self.class_rows,
+            ))
+        if self.crash is not None:
+            c = self.crash
+            parts.append("\n".join([
+                "worker failure",
+                "--------------",
+                f"crashed at:      store #{c['crash_count']:,} "
+                f"(cycle {c['crash_cycle']:,})",
+                f"recovered:       {c['recovered_lines']:,} lines at epoch "
+                f"{c['rec_epoch']} "
+                f"(image_matches={bool(c['image_matches'])}, "
+                f"frontier_ok={bool(c['frontier_ok'])})",
+                f"resumed:         {c['resumed_requests']:,} requests / "
+                f"{c['resumed_stores']:,} stores in "
+                f"{c['resumed_cycles']:,} cycles "
+                f"(store p95 {c['resumed_store_p95']}, "
+                f"p99 {c['resumed_store_p99']})",
+                f"verdict:         {'OK' if c['ok'] else 'FAIL'} "
+                f"(recovered image vs golden replay)",
+            ]))
+        return "\n\n".join(parts)
+
+
+def _scheme_row(record: RunRecord, ideal: RunRecord) -> Dict[str, float]:
+    return {
+        "norm_cycles": record.cycles / max(ideal.cycles, 1),
+        "store_p95": record.extra.get("store_latency_p95", 0),
+        "store_p99": record.extra.get("store_latency_p99", 0),
+        "wamp_mean": record.extra.get("tenant_write_amp_mean", 0.0),
+        "wamp_p95": record.extra.get("tenant_write_amp_p95", 0.0),
+        "nvm_mb": record.total_nvm_bytes / 1e6,
+    }
+
+
+def _class_rows(record: RunRecord) -> Dict[str, Dict[str, float]]:
+    rows: Dict[str, Dict[str, float]] = {}
+    for key, value in sorted(record.extra.items()):
+        if not key.startswith("class_"):
+            continue
+        name, metric = key[len("class_"):].rsplit("_", 1)
+        if metric == "bytes":  # class_<name>_nvm_bytes
+            name, metric = name.rsplit("_", 1)[0], "nvm_mb"
+            value = value / 1e6
+        elif metric == "amp":  # class_<name>_write_amp
+            name, metric = name.rsplit("_", 1)[0], "write_amp"
+        rows.setdefault(name, {})[metric] = value
+    return rows
+
+
+def run_scenario(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 1,
+    quick: bool = False,
+    crash_at: Optional[float] = None,
+    oracle: bool = False,
+    config=None,
+    jobs: Optional[int] = None,
+    cache: Any = False,
+    progress=None,
+) -> LoadResult:
+    """Run one registered scenario end to end (see module docstring).
+
+    ``crash_at`` is a fraction of the run's store stream (0, 1); giving
+    it turns any scenario into a crash scenario.  ``quick`` caps the
+    scale at :data:`QUICK_SCALE` for smoke runs.  ``config`` overrides
+    the machine geometry (e.g. a smaller ``epoch_size_stores`` so short
+    smoke runs still cross recoverable epochs).
+    """
+    scenario = get_scenario(name)
+    if quick:
+        scale = min(scale, QUICK_SCALE)
+    template = RunSpec(
+        workload=scenario.workload, scheme="ideal", config=config,
+        scale=scale, seed=seed, capture_latency=True, oracle=oracle,
+    )
+    runner = ParallelRunner(jobs=jobs or 1, cache=cache, progress=progress)
+    specs = [template, template.with_changes(scheme="nvoverlay")]
+    ideal, nvo = runner.run(specs)
+    result = LoadResult(
+        scenario=name, workload=scenario.workload, scale=scale, seed=seed,
+        oracle=oracle,
+        records={"ideal": ideal, "nvoverlay": nvo},
+        rows={"nvoverlay": _scheme_row(nvo, ideal)},
+        class_rows=_class_rows(nvo),
+    )
+    if scenario.crash or crash_at is not None:
+        fraction = DEFAULT_CRASH_AT if crash_at is None else crash_at
+        result.crash = _worker_failure(
+            specs[1], fraction, total_stores=nvo.stores,
+        )
+    return result
+
+
+def _worker_failure(
+    spec: RunSpec, fraction: float, total_stores: int
+) -> Dict[str, Any]:
+    """Crash ``spec`` at ``fraction`` of its store stream, recover, resume.
+
+    The clean run's store count places the crash point — no probe run is
+    needed.  Recovery verification goes through ``repro.faults`` (image
+    vs golden store-log replay, min-ver frontier check); the verified
+    image is then installed into a fresh machine which replays the
+    remaining traffic window of the *same* schedule.
+    """
+    from ..faults.verify import verify_crash  # lazy: pulls the verifier in
+
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"crash fraction must be in (0, 1), got {fraction}")
+    count = max(1, int(total_stores * fraction))
+    verification = verify_crash(spec, CrashPlan(event="store", count=count))
+
+    # Resume: a fresh node boots from the recovered image and serves the
+    # tail of the schedule (the window after the crash fraction).
+    config = spec.resolved_config
+    workload = make_workload(
+        spec.workload, num_threads=config.num_cores, scale=spec.scale,
+        seed=spec.seed,
+    )
+    if not isinstance(workload, TenantLoadWorkload):
+        raise TypeError(
+            f"crash scenarios need a tenant load workload, got "
+            f"{type(workload).__name__}"
+        )
+    resume_oracle = None
+    if spec.oracle:
+        from ..oracle import ProtocolOracle
+
+        resume_oracle = ProtocolOracle()
+    machine = Machine(
+        config,
+        scheme=make_scheme(spec.scheme, spec.nvo_params),
+        capture_latency=True,
+        oracle=resume_oracle,
+    )
+    machine.load_image(verification.recovered_image)
+    tail = workload.with_window(fraction, 1.0)
+    resumed = machine.run(tail)
+    resumed_extras = tail.record_extras(machine)
+
+    stats = verification.stats
+    return {
+        "crash_event": "store",
+        "crash_count": verification.crash_count or count,
+        "crash_cycle": verification.crash_cycle or 0,
+        "crash_fraction": fraction,
+        "crashed": int(verification.crashed),
+        "rec_epoch": verification.rec_epoch,
+        "reported_rec_epoch": verification.reported_rec_epoch,
+        "recovered_lines": verification.recovered_lines,
+        "golden_lines": verification.golden_lines,
+        "image_matches": int(verification.matches),
+        "frontier_ok": int(verification.frontier_ok),
+        "aborted_merges": verification.aborted_merges,
+        "drained_buffer_entries": verification.drained_buffer_entries,
+        "crash_store_p95": stats.percentile("store_latency", 0.95)
+        if stats is not None else 0,
+        "crash_store_p99": stats.percentile("store_latency", 0.99)
+        if stats is not None else 0,
+        "resumed_cycles": resumed.cycles,
+        "resumed_stores": resumed.stores,
+        "resumed_requests": int(resumed_extras.get("tenant_requests", 0)),
+        "resumed_accesses": int(resumed_extras.get("tenant_accesses", 0)),
+        "resumed_store_p95": machine.stats.percentile("store_latency", 0.95),
+        "resumed_store_p99": machine.stats.percentile("store_latency", 0.99),
+        "ok": bool(verification.ok),
+    }
+
+
+# -- the snippet-idiom scenario runners ------------------------------------
+
+def run_steady_load(**kwargs: Any) -> LoadResult:
+    """Flat arrivals; the baseline service-level comparison."""
+    return run_scenario("steady", **kwargs)
+
+
+def run_burst_load(**kwargs: Any) -> LoadResult:
+    """A mid-run arrival burst stressing epoch advancement under skew."""
+    return run_scenario("burst", **kwargs)
+
+
+def run_worker_failure(**kwargs: Any) -> LoadResult:
+    """Node dies mid-burst, recovers from NVM, resumes remaining traffic."""
+    kwargs.setdefault("crash_at", DEFAULT_CRASH_AT)
+    return run_scenario("worker_failure", **kwargs)

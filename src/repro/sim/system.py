@@ -176,6 +176,8 @@ class Machine:
                 for addr, size, is_store in txn:
                     latency = execute_access(tid, addr, size, is_store, clock)
                     observe("op_latency", latency)
+                    if is_store:
+                        observe("store_latency", latency)
                     clock += latency
                 observe("txn_latency", clock - txn_start)
             else:

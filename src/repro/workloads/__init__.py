@@ -32,6 +32,13 @@ from .stamp import (
     Yada,
 )
 from .synthetic import BurstyWrites, Streaming, UniformRandom, Zipfian
+from .tenant import (
+    DEFAULT_TENANTS,
+    TENANT_CLASSES,
+    Tenant,
+    TenantClass,
+    TenantLoadWorkload,
+)
 from .tracefile import (
     TraceFormatError,
     TraceWorkload,
@@ -74,8 +81,13 @@ __all__ = [
     "MemView",
     "PAPER_WORKLOADS",
     "RedBlackTree",
+    "DEFAULT_TENANTS",
     "SSCA2",
     "Streaming",
+    "TENANT_CLASSES",
+    "Tenant",
+    "TenantClass",
+    "TenantLoadWorkload",
     "TraceFormatError",
     "TraceWorkload",
     "UniformRandom",

@@ -1,0 +1,331 @@
+"""Multi-tenant service traffic: the access-stream engine under ``repro.load``.
+
+Models a production service whose memory traffic is the sum of many
+tenants' request streams (the ROADMAP's "heavy traffic from millions of
+users" north star, scaled to simulation size):
+
+* **tenant popularity** is Zipf-skewed — a handful of hot tenants take
+  most of the traffic, a long tail takes the rest;
+* **key popularity within a tenant** is Zipf-skewed again over the
+  tenant's contiguous footprint;
+* **tenant classes** (free / standard / enterprise / batch) set the
+  read/write mix, footprint size and arrival weight;
+* **arrival patterns** shape traffic over the run: ``steady`` (flat),
+  ``burst`` (a mid-run window where burst-prone classes flood in and
+  requests double up), ``diurnal`` (day/night intensity wave with
+  batch work shifted off-peak).
+
+Every tenant owns a page-aligned contiguous region, so NVM writes can be
+attributed back to tenants from the device's per-page wear counters:
+:meth:`TenantLoadWorkload.record_extras` turns ``machine.nvm.wear`` into
+per-tenant/per-class snapshot-overhead and write-amplification numbers
+that ride the standard ``RunRecord.extra`` path (cache, pool, reports).
+
+Generation is lazy and deterministic: the RNG stream depends only on
+``(seed, thread)``, and a ``window`` sub-range replays the *identical*
+schedule while emitting only its slice — the resume-after-crash leg of
+``repro.load``'s worker-failure scenario is ``with_window(crash_frac, 1)``.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..sim.config import CACHE_LINE_SIZE, PAGE_SHIFT
+from ..sim.trace import Access
+from .alloc import AddressSpace
+from .base import Workload, register_workload
+
+LINE = CACHE_LINE_SIZE
+
+#: Zipf skew across tenant ranks / keys within a tenant footprint.
+TENANT_THETA = 0.99
+KEY_THETA = 0.8
+
+#: Default fleet size; the acceptance bar is >= 100 tenants.
+DEFAULT_TENANTS = 128
+
+#: The burst window of the ``burst`` pattern, as run fractions.
+BURST_WINDOW = (0.4, 0.6)
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One service tier: traffic mix and footprint of its tenants."""
+
+    name: str
+    #: Fraction of a tenant's ops that are loads (the rest store).
+    read_fraction: float
+    #: Contiguous cache lines per tenant (page-aligned region).
+    footprint_lines: int
+    #: Base arrival weight (relative share of request traffic).
+    weight: float
+    #: Arrival multiplier inside a burst / off-peak boost window.
+    burst_boost: float
+
+
+#: The four tiers.  ``batch`` writes hard and bursts hardest (bulk jobs);
+#: ``free`` is plentiful, small and read-mostly.
+TENANT_CLASSES: Tuple[TenantClass, ...] = (
+    TenantClass("free", 0.90, 64, 1.0, 1.0),
+    TenantClass("standard", 0.75, 256, 4.0, 2.0),
+    TenantClass("enterprise", 0.55, 1024, 8.0, 4.0),
+    TenantClass("batch", 0.20, 2048, 2.0, 8.0),
+)
+
+#: Class of tenant rank ``r`` = ``_CLASS_PATTERN[r % len]`` (indices into
+#: TENANT_CLASSES).  Interleaved so every class has hot *and* tail members.
+_CLASS_PATTERN = (2, 1, 0, 3, 1, 0, 2, 1, 0, 0, 3, 1, 0, 1, 0, 0)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: its class and its contiguous address region."""
+
+    id: int
+    klass: TenantClass
+    base: int  # byte address, page-aligned
+    page_start: int
+    page_end: int  # exclusive
+
+
+def _zipf_cdf(weights: List[float]) -> List[float]:
+    total = sum(weights)
+    acc, cdf = 0.0, []
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+class TenantLoadWorkload(Workload):
+    """Zipf-skewed multi-tenant request traffic (see module docstring)."""
+
+    name = "tenant_load"
+
+    def __init__(
+        self,
+        num_threads: int,
+        num_tenants: int = DEFAULT_TENANTS,
+        requests_per_thread: int = 1000,
+        pattern: str = "steady",
+        seed: int = 1,
+        window: Tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        super().__init__(num_threads)
+        if num_tenants < 1:
+            raise ValueError("need at least one tenant")
+        if pattern not in ("steady", "burst", "diurnal"):
+            raise ValueError(f"unknown arrival pattern {pattern!r}")
+        if not (0.0 <= window[0] <= window[1] <= 1.0):
+            raise ValueError(f"window must satisfy 0 <= lo <= hi <= 1, got {window}")
+        self.num_tenants = num_tenants
+        self.requests_per_thread = requests_per_thread
+        self.pattern = pattern
+        self.seed = seed
+        self.window = window
+
+        space = AddressSpace()
+        region = space.region()
+        self.tenants: List[Tenant] = []
+        for rank in range(num_tenants):
+            klass = TENANT_CLASSES[_CLASS_PATTERN[rank % len(_CLASS_PATTERN)]]
+            base = region.alloc(klass.footprint_lines * LINE, align=1 << PAGE_SHIFT)
+            self.tenants.append(Tenant(
+                id=rank,
+                klass=klass,
+                base=base,
+                page_start=base >> PAGE_SHIFT,
+                page_end=(base + klass.footprint_lines * LINE) >> PAGE_SHIFT,
+            ))
+
+        # Tenant-pick CDFs: Zipf over popularity rank, scaled by class
+        # weight; "boost" multiplies in each class's burst_boost for the
+        # windows where bursty/off-peak classes flood in.
+        def tenant_cdf(boost: bool) -> List[float]:
+            return _zipf_cdf([
+                t.klass.weight * (t.klass.burst_boost if boost else 1.0)
+                / (t.id + 1) ** TENANT_THETA
+                for t in self.tenants
+            ])
+
+        base_cdf = tenant_cdf(boost=False)
+        boost_cdf = tenant_cdf(boost=True)
+        # Key-pick CDFs, one per distinct footprint size.
+        self._key_cdfs: Dict[int, List[float]] = {
+            lines: _zipf_cdf([1.0 / (i + 1) ** KEY_THETA for i in range(lines)])
+            for lines in {k.footprint_lines for k in TENANT_CLASSES}
+        }
+        # The arrival schedule: (start_fraction, tenant_cdf, ops_per_request),
+        # consulted by run progress.  Shared by all threads.
+        if pattern == "steady":
+            self._phases = [(0.0, base_cdf, 4)]
+        elif pattern == "burst":
+            self._phases = [
+                (0.0, base_cdf, 4),
+                (BURST_WINDOW[0], boost_cdf, 8),
+                (BURST_WINDOW[1], base_cdf, 4),
+            ]
+        else:  # diurnal: day/night wave, batch work shifted off-peak
+            self._phases = [
+                (0.000, boost_cdf, 2),  # night: light, batch-heavy
+                (0.125, base_cdf, 3),
+                (0.250, base_cdf, 4),
+                (0.375, base_cdf, 6),  # midday peak
+                (0.500, base_cdf, 6),
+                (0.625, base_cdf, 4),
+                (0.750, base_cdf, 3),
+                (0.875, boost_cdf, 2),  # night again
+            ]
+        # Generation-time per-tenant accounting, read by record_extras
+        # after the run.  Counts only *emitted* (in-window) traffic.
+        self._requests = [0] * num_tenants
+        self._accesses = [0] * num_tenants
+        self._store_bytes = [0] * num_tenants
+
+    def with_window(self, lo: float, hi: float) -> "TenantLoadWorkload":
+        """The same schedule, emitting only the ``[lo, hi)`` slice.
+
+        Same seed => bit-identical RNG stream, so a ``(0, f)`` + ``(f, 1)``
+        split replays exactly the full run's traffic — the worker-failure
+        resume leg.
+        """
+        return TenantLoadWorkload(
+            self.num_threads,
+            num_tenants=self.num_tenants,
+            requests_per_thread=self.requests_per_thread,
+            pattern=self.pattern,
+            seed=self.seed,
+            window=(lo, hi),
+        )
+
+    def access_batches(self, thread_id: int) -> Iterator[List[Access]]:
+        rng = random.Random((self.seed << 6) ^ thread_id)
+        rng_random = rng.random
+        rng_randrange = rng.randrange
+        tenants = self.tenants
+        key_cdfs = self._key_cdfs
+        total = self.requests_per_thread
+        lo = int(total * self.window[0])
+        hi = int(total * self.window[1])
+        phases = self._phases
+        requests, accesses, store_bytes = (
+            self._requests, self._accesses, self._store_bytes,
+        )
+        phase = 0
+        for i in range(total):
+            progress = i / total
+            while phase + 1 < len(phases) and phases[phase + 1][0] <= progress:
+                phase += 1
+            _, cdf, ops = phases[phase]
+            tenant = tenants[bisect_left(cdf, rng_random())]
+            key_cdf = key_cdfs[tenant.klass.footprint_lines]
+            store_cut = 1.0 - tenant.klass.read_fraction
+            emit = lo <= i < hi
+            batch: List[Access] = []
+            append = batch.append
+            base = tenant.base
+            for _ in range(ops):
+                line_idx = bisect_left(key_cdf, rng_random())
+                addr = base + line_idx * LINE + 8 * rng_randrange(8)
+                is_store = rng_random() < store_cut
+                if emit:
+                    append((addr, 8, is_store))
+                    if is_store:
+                        store_bytes[tenant.id] += 8
+            if emit:
+                requests[tenant.id] += 1
+                accesses[tenant.id] += ops
+                yield batch
+
+    # -- post-run attribution ---------------------------------------------
+    def record_extras(self, machine) -> Dict[str, float]:
+        """Per-tenant NVM attribution from the device's wear counters.
+
+        Called by the runner after ``machine.run``: maps each tenant's
+        page range over ``machine.nvm.wear`` and reduces to the flat,
+        JSON-safe aggregates the load reports consume.  Write
+        amplification here is *snapshot overhead per stored byte*: NVM
+        bytes the scheme wrote for a tenant's lines divided by the bytes
+        the tenant actually stored (the ideal scheme writes none, so the
+        whole quotient is snapshotting cost).
+        """
+        wear = machine.nvm.wear
+        page_writes = wear.page_writes
+        nvm_bytes: List[int] = []
+        for tenant in self.tenants:
+            lines = sum(
+                page_writes(page)
+                for page in range(tenant.page_start, tenant.page_end)
+            )
+            nvm_bytes.append(lines * LINE)
+
+        extras: Dict[str, float] = {
+            "tenants": float(self.num_tenants),
+            "tenant_requests": float(sum(self._requests)),
+            "tenant_accesses": float(sum(self._accesses)),
+        }
+        total_requests = sum(self._requests)
+        if total_requests:
+            hot10 = sorted(self._requests, reverse=True)[:10]
+            extras["tenant_hot10_request_share"] = sum(hot10) / total_requests
+        total_nvm = sum(nvm_bytes)
+        extras["tenant_nvm_bytes"] = float(total_nvm)
+        if total_nvm:
+            top10 = sorted(nvm_bytes, reverse=True)[:10]
+            extras["tenant_nvm_top10_share"] = sum(top10) / total_nvm
+
+        amps = sorted(
+            nvm / stored
+            for nvm, stored in zip(nvm_bytes, self._store_bytes)
+            if stored
+        )
+        if amps:
+            extras["tenant_write_amp_mean"] = sum(amps) / len(amps)
+            extras["tenant_write_amp_p95"] = amps[int(0.95 * (len(amps) - 1))]
+            extras["tenant_write_amp_max"] = amps[-1]
+
+        for klass in TENANT_CLASSES:
+            ids = [t.id for t in self.tenants if t.klass is klass]
+            stored = sum(self._store_bytes[i] for i in ids)
+            written = sum(nvm_bytes[i] for i in ids)
+            extras[f"class_{klass.name}_tenants"] = float(len(ids))
+            extras[f"class_{klass.name}_requests"] = float(
+                sum(self._requests[i] for i in ids)
+            )
+            extras[f"class_{klass.name}_nvm_bytes"] = float(written)
+            if stored:
+                extras[f"class_{klass.name}_write_amp"] = written / stored
+        return extras
+
+
+#: Requests per thread at ``scale=1.0``.  16 threads x 18k requests x
+#: ~4-8 ops/request puts the full-scale scenarios past 1M accesses.
+_BASE_REQUESTS = 18_000
+
+
+@register_workload("load_steady")
+def _make_load_steady(num_threads: int, scale: float, seed: int) -> Workload:
+    return TenantLoadWorkload(
+        num_threads, requests_per_thread=max(1, int(_BASE_REQUESTS * scale)),
+        pattern="steady", seed=seed,
+    )
+
+
+@register_workload("load_burst")
+def _make_load_burst(num_threads: int, scale: float, seed: int) -> Workload:
+    return TenantLoadWorkload(
+        num_threads, requests_per_thread=max(1, int(_BASE_REQUESTS * scale)),
+        pattern="burst", seed=seed,
+    )
+
+
+@register_workload("load_diurnal")
+def _make_load_diurnal(num_threads: int, scale: float, seed: int) -> Workload:
+    return TenantLoadWorkload(
+        num_threads, requests_per_thread=max(1, int(_BASE_REQUESTS * scale)),
+        pattern="diurnal", seed=seed,
+    )

@@ -153,7 +153,7 @@ class TestCli:
         # timing, and shared-tenancy hosts jitter far past the default
         # 20% — this tests the gate's plumbing, not the machine.
         argv = ["bench", "--quick", "--scenarios", "ycsb_a_picl",
-                "--repeats", "1", "--json", str(path), "--check",
+                "--repeats", "1", "--trajectory", str(path), "--check",
                 "--threshold", "0.95", "--label", "unit test"]
         # First run: no baseline — the gate fails loudly, but the entry
         # is still recorded so the next run has a baseline.
@@ -177,7 +177,7 @@ class TestCli:
         monkeypatch.setenv("REPRO_BENCH_ENV", "never-benched-env")
         path = tmp_path / "traj.json"
         argv = ["bench", "--quick", "--scenarios", "ycsb_a_picl",
-                "--repeats", "1", "--json", str(path), "--check",
+                "--repeats", "1", "--trajectory", str(path), "--check",
                 "--no-update"]
         assert main(argv) == 1
         captured = capsys.readouterr()
@@ -191,7 +191,7 @@ class TestCli:
         monkeypatch.setenv("REPRO_BENCH_ENV", "never-benched-env")
         path = tmp_path / "traj.json"
         argv = ["bench", "--quick", "--scenarios", "ycsb_a_picl",
-                "--repeats", "1", "--json", str(path), "--check",
+                "--repeats", "1", "--trajectory", str(path), "--check",
                 "--no-update", "--allow-missing-baseline"]
         assert main(argv) == 0
         assert "regression gate: skipped" in capsys.readouterr().err
@@ -204,7 +204,7 @@ class TestCli:
                      label="impossible", quick=True,
                      timestamp="2026-01-01T00:00:00")
         argv = ["bench", "--quick", "--scenarios", "ycsb_a_picl",
-                "--repeats", "1", "--json", str(path), "--check",
+                "--repeats", "1", "--trajectory", str(path), "--check",
                 "--no-update"]
         assert main(argv) == 1
         captured = capsys.readouterr()

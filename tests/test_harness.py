@@ -10,6 +10,7 @@ import pytest
 from repro.core import NVOverlayParams
 from repro.harness import COMPARED_SCHEMES, SCHEMES, compare, make_scheme, run_one
 from repro.harness import experiments, report
+from repro.harness.spec import RunSpec
 from repro.sim import SystemConfig
 
 SMALL = SystemConfig(num_cores=4, cores_per_vd=2, epoch_size_stores=500)
@@ -30,7 +31,8 @@ class TestRunner:
         assert scheme.params.num_omcs == 3
 
     def test_run_one_record_fields(self):
-        record = run_one("uniform", "picl", config=SMALL, scale=TINY_SCALE)
+        record = run_one(RunSpec(workload="uniform", scheme="picl",
+                                 config=SMALL, scale=TINY_SCALE))
         assert record.workload == "uniform"
         assert record.scheme == "picl"
         assert record.cycles > 0
@@ -39,14 +41,17 @@ class TestRunner:
         assert "log" in record.nvm_bytes
 
     def test_run_one_nvoverlay_extras(self):
-        record = run_one("uniform", "nvoverlay", config=SMALL, scale=TINY_SCALE)
+        record = run_one(RunSpec(workload="uniform", scheme="nvoverlay",
+                                 config=SMALL, scale=TINY_SCALE))
         assert record.extra["master_metadata_bytes"] > 0
         assert record.extra["mapped_working_set_bytes"] > 0
         assert record.extra["rec_epoch"] > 0
 
     def test_compare_normalizes(self):
         records = compare(
-            "uniform", ["picl", "nvoverlay"], config=SMALL, scale=TINY_SCALE
+            RunSpec(workload="uniform", scheme="ideal", config=SMALL,
+                    scale=TINY_SCALE),
+            ["picl", "nvoverlay"],
         )
         assert records["ideal"].extra["normalized_cycles"] == 1.0
         assert records["nvoverlay"].extra["normalized_write_bytes"] == 1.0

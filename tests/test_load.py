@@ -1,0 +1,209 @@
+"""Tests for ``repro.load``: registry, determinism, skew, crash round-trip.
+
+The load scenarios are the service-level layer on top of the simulator;
+what matters here is that (a) the registry is the single source of
+scenario names, (b) the traffic is deterministic in the seed — same
+seed, same trace, same simulation fingerprint — and (c) the
+worker-failure composition (crash mid-burst, recover from NVM, resume
+the remaining window) round-trips exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import simulate
+from repro.harness.spec import RunSpec
+from repro.load import (
+    Scenario,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    run_worker_failure,
+    scenario_names,
+)
+from repro.load.scenarios import _REGISTRY
+from repro.sim import SystemConfig
+from repro.workloads import TenantLoadWorkload, make_workload, workload_names
+
+#: Small epochs so quick-scale crash runs still persist recoverable state.
+SMOKE_CONFIG = SystemConfig(epoch_size_stores=200)
+
+
+def flat_trace(workload, tids=(0, 3)):
+    """The full emitted access stream of a few threads, flattened."""
+    return [
+        access
+        for tid in tids
+        for batch in workload.access_batches(tid)
+        for access in batch
+    ]
+
+
+@pytest.fixture(scope="module")
+def steady_result():
+    return run_scenario("steady", quick=True, config=SMOKE_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def failure_result():
+    return run_worker_failure(quick=True, config=SMOKE_CONFIG)
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        assert {"steady", "burst", "diurnal", "worker_failure"} <= set(
+            scenario_names()
+        )
+
+    def test_worker_failure_is_a_crash_scenario(self):
+        assert get_scenario("worker_failure").crash
+        assert not get_scenario("steady").crash
+
+    def test_unknown_scenario_names_the_known_ones(self):
+        with pytest.raises(KeyError, match="steady"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            register_scenario(Scenario("steady", "again", "load_steady"))
+
+    def test_registration_is_additive(self):
+        scenario = Scenario("tmp_scenario", "temporary", "load_steady")
+        register_scenario(scenario)
+        try:
+            assert get_scenario("tmp_scenario") is scenario
+        finally:
+            del _REGISTRY["tmp_scenario"]
+
+    def test_tenant_workloads_in_workload_registry(self):
+        names = set(workload_names())
+        assert {"load_steady", "load_burst", "load_diurnal"} <= names
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = make_workload("load_burst", num_threads=4, scale=0.01, seed=7)
+        b = make_workload("load_burst", num_threads=4, scale=0.01, seed=7)
+        assert flat_trace(a) == flat_trace(b)
+
+    def test_different_seed_different_trace(self):
+        a = make_workload("load_burst", num_threads=4, scale=0.01, seed=7)
+        b = make_workload("load_burst", num_threads=4, scale=0.01, seed=8)
+        assert flat_trace(a) != flat_trace(b)
+
+    def test_same_seed_same_sim_fingerprint(self):
+        spec = RunSpec(workload="load_steady", scheme="nvoverlay",
+                       config=SMOKE_CONFIG, scale=0.01, seed=3)
+        assert simulate(spec).to_dict() == simulate(spec).to_dict()
+
+    def test_window_split_replays_exact_same_traffic(self):
+        full = make_workload("load_burst", num_threads=4, scale=0.01, seed=5)
+        head = full.with_window(0.0, 0.5)
+        tail = full.with_window(0.5, 1.0)
+        for tid in range(4):
+            assert (
+                flat_trace(head, tids=(tid,)) + flat_trace(tail, tids=(tid,))
+                == flat_trace(full, tids=(tid,))
+            )
+
+
+class TestSteadyScenario:
+    def test_tenant_population_and_traffic(self, steady_result):
+        assert steady_result.tenants >= 100
+        assert steady_result.accesses > 0
+        assert steady_result.ok
+
+    def test_zipf_skew_concentrates_requests(self, steady_result):
+        record = steady_result.records["nvoverlay"]
+        share = record.extra["tenant_hot10_request_share"]
+        # 10 of 128 tenants would carry ~8% under uniform arrivals.
+        assert share > 0.2
+
+    def test_per_tenant_overhead_columns(self, steady_result):
+        row = steady_result.rows["nvoverlay"]
+        assert row["wamp_mean"] > 1.0
+        assert row["store_p95"] > 0
+        assert row["store_p99"] >= row["store_p95"]
+        assert row["nvm_mb"] > 0
+
+    def test_all_tenant_classes_reported(self, steady_result):
+        assert {"free", "standard", "enterprise", "batch"} == set(
+            steady_result.class_rows
+        )
+        for row in steady_result.class_rows.values():
+            assert row["write_amp"] > 0
+
+    def test_ideal_baseline_writes_no_tenant_nvm(self, steady_result):
+        ideal = steady_result.records["ideal"]
+        assert ideal.extra["tenant_nvm_bytes"] == 0
+
+
+class TestWorkerFailure:
+    def test_round_trip_verifies(self, failure_result):
+        crash = failure_result.crash
+        assert crash["crashed"] == 1
+        assert crash["image_matches"] == 1
+        assert crash["frontier_ok"] == 1
+        assert failure_result.ok
+
+    def test_recovery_is_nontrivial(self, failure_result):
+        crash = failure_result.crash
+        assert crash["recovered_lines"] > 0
+        assert crash["rec_epoch"] > 0
+        assert crash["recovered_lines"] == crash["golden_lines"]
+
+    def test_resumed_tail_serves_traffic(self, failure_result):
+        crash = failure_result.crash
+        assert crash["resumed_requests"] > 0
+        assert crash["resumed_stores"] > 0
+        assert crash["resumed_store_p95"] > 0
+        # The total access count includes the resumed tail.
+        clean = failure_result.records["nvoverlay"]
+        assert failure_result.accesses > clean.extra["tenant_accesses"]
+
+    def test_bad_crash_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            run_scenario("steady", quick=True, crash_at=1.5)
+
+
+class TestLoadCLI:
+    def test_list_names_come_from_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["load", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["load", "--scenario", "nope", "--no-cache"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_scenario_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["load", "--no-cache"]) == 2
+
+    def test_json_and_artifact_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main([
+            "load", "--scenario", "steady", "--quick", "--seed", "2",
+            "--epoch-stores", "200", "--no-cache", "--json",
+            "--artifact", str(tmp_path),
+        ])
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "steady"
+        assert payload["tenants"] >= 100
+        assert payload["ok"] is True
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "load_steady.jsonl").read_text().splitlines()
+        ]
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "meta"
+        assert kinds.count("record") == 2

@@ -3,8 +3,9 @@
 Covers the contract the harness layer now rests on: parallel runs are
 bit-identical to serial runs, the cache hits/misses/invalidates on
 exactly the spec fields, specs and records survive a JSON round trip,
-and the legacy six-kwarg call forms still work behind a
-``DeprecationWarning``.
+and ``RunSpec`` is the *only* accepted call form — the PR-1 legacy
+six-kwarg shim is gone and non-spec arguments fail with a ``TypeError``
+that spells out the replacement.
 """
 
 import json
@@ -281,37 +282,33 @@ class TestParallelRunner:
         assert "uniform/ideal" in line and line.startswith("[1/2]")
 
 
-class TestDeprecationShim:
-    def test_run_one_legacy_warns_and_matches(self):
-        spec = small_spec()
-        with pytest.warns(DeprecationWarning):
-            legacy = run_one("uniform", "picl", config=SMALL, scale=TINY_SCALE)
-        assert legacy == run_one(spec)
+class TestSpecOnlyAPI:
+    """The PR-1 legacy-kwargs shim is gone: RunSpec is the only entry."""
 
-    def test_run_one_legacy_requires_scheme(self):
+    def test_run_one_rejects_legacy_kwargs_form(self):
+        # The old kwargs land on the new signature as unexpected keywords.
         with pytest.raises(TypeError):
+            run_one("uniform", scheme="picl", config=SMALL, scale=TINY_SCALE)
+
+    def test_run_one_rejects_bare_workload_name(self):
+        with pytest.raises(TypeError, match="takes a RunSpec"):
             run_one("uniform")
 
     def test_run_one_spec_rejects_extra_scheme(self):
         with pytest.raises(TypeError):
             run_one(small_spec(), "picl")
 
-    def test_compare_legacy_warns(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = compare("uniform", ["picl"], config=SMALL, scale=TINY_SCALE)
-        native = compare(
-            RunSpec(workload="uniform", scheme="ideal", config=SMALL,
-                    scale=TINY_SCALE),
-            ["picl"],
-        )
-        assert legacy == native
+    def test_compare_rejects_legacy_positional_form(self):
+        with pytest.raises(TypeError, match="takes a RunSpec"):
+            compare("uniform", ["picl"])
 
-    def test_compare_native_no_warning(self):
-        import warnings
+    def test_error_message_names_the_replacement(self):
+        with pytest.raises(TypeError, match="RunSpec\\(workload="):
+            run_one("uniform")
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            compare(small_spec(scheme="ideal"), ["picl"])
+    def test_compare_accepts_spec(self):
+        records = compare(small_spec(scheme="ideal"), ["picl"])
+        assert set(records) == {"ideal", "picl"}
 
 
 class TestCaptureFlags:

@@ -8,6 +8,7 @@ change that silently breaks a comparison fails `pytest tests/` too.
 import pytest
 
 from repro.harness import compare
+from repro.harness.spec import RunSpec
 from repro.sim import SystemConfig
 
 CONFIG = SystemConfig(epoch_size_stores=4000)
@@ -18,7 +19,9 @@ _cache = {}
 
 def records_for(workload):
     if workload not in _cache:
-        _cache[workload] = compare(workload, config=CONFIG, scale=SCALE)
+        _cache[workload] = compare(RunSpec(
+            workload=workload, scheme="ideal", config=CONFIG, scale=SCALE,
+        ))
     return _cache[workload]
 
 
