@@ -13,18 +13,19 @@ corruption happened.  We:
 
 1. run with very short epochs around the suspicious window (the bursty
    debugging pattern of Fig. 17b);
-2. binary-search the epoch history with time-travel reads to find the
-   first snapshot where the watched line held the bad value.
+2. open epoch-pinned *snapshot sessions* (``repro.serve``) and scan the
+   epoch history with time-travel reads to find the first snapshot where
+   the watched line held the bad value — each session is an O(1)
+   point-in-time read view whose pin keeps GC from reclaiming the epochs
+   it is inspecting.
 
 Run:  python examples/time_travel_debugging.py
 """
 
 from repro import Machine, NVOverlay, NVOverlayParams, SnapshotReader, SystemConfig
-from repro.sim import load, store
+from repro.serve import SessionManager
 from repro.sim.config import BurstyEpochPolicy
 from repro.workloads import AddressSpace, HashTable, MemView, Workload
-
-WATCHED = None  # filled in by the workload (address of the counter)
 
 
 class BuggyWorkload(Workload):
@@ -83,10 +84,6 @@ def main() -> None:
     assert len(writes) == 2, "expected exactly stomp + fix"
     bad_token = writes[0][1]
 
-    def holds_bad_value(epoch: int) -> bool:
-        result = reader.read(workload.counter, epoch)
-        return result is not None and result[0] == bad_token
-
     # The watch-point primitive: which snapshots contain versions of the
     # counter at all?
     touched = reader.epochs_touching(workload.counter)
@@ -96,9 +93,29 @@ def main() -> None:
     print(f"  stomp recorded in epoch {writes[0][0]}, fix in epoch {writes[1][0]}")
     assert first_write_epoch == writes[0][0]
 
+    # Debugging is served through snapshot sessions: each acquire() is an
+    # O(1) pin of one epoch — no copying, no table scan — and while the
+    # session is open, version GC will not reclaim that epoch's state.
+    manager = SessionManager(scheme.cluster)
+
+    def holds_bad_value(epoch: int) -> bool:
+        with manager.acquire(epoch=epoch) as session:
+            result = session.read(workload.counter)
+            return result is not None and result[0] == bad_token
+
     stomped = [e for e in range(1, final_epoch + 1) if holds_bad_value(e)]
     print(f"  corrupted value visible in snapshots "
           f"{stomped[0]}..{stomped[-1]} ({len(stomped)} epochs)")
+
+    # A long-lived inspection session survives GC: pin the stomp epoch,
+    # reclaim everything unpinned, and the pinned view still answers.
+    with manager.acquire(epoch=stomped[0]) as session:
+        scheme.cluster.reclaim(0)
+        result = session.read(workload.counter)
+        assert result is not None and result[0] == bad_token
+        print(f"  pinned session at snapshot {stomped[0]} still reads the "
+              f"stomped value after GC (staleness {session.staleness()} epochs)")
+    assert manager.reads == final_epoch + 1
     print("time travel pinpointed the corruption window: OK")
 
 

@@ -17,11 +17,14 @@ Commands:
 * ``load``        — run a registered multi-tenant traffic scenario
   (``--list`` enumerates the ``repro.load`` registry; ``--crash-at``
   kills a worker mid-run, recovers, resumes)
+* ``serve``       — snapshot query engine: concurrent epoch-pinned reader
+  sessions over a live write stream, with version GC under session pins;
+  compares a serving cell against the same write-only run
 * ``cache``       — inspect (``info``) or empty (``clear``) the result cache
 * ``bench``       — time the simulator itself; track ``BENCH_sim_throughput.json``
 
 The simulating commands (``run``/``bench``/``scaling``/``crash-sweep``/
-``load``) share one option surface: ``--jobs N`` (process-pool fan-out),
+``load``/``serve``) share one option surface: ``--jobs N`` (process-pool fan-out),
 ``--no-cache`` (bypass the on-disk result cache under
 ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``), ``--oracle`` (arm the
 protocol invariant oracle) and ``--json`` (machine-readable JSON on
@@ -38,6 +41,8 @@ Examples::
     python -m repro load --list
     python -m repro load --scenario burst --crash-at 0.5
     python -m repro load --scenario steady --quick --oracle --json
+    python -m repro serve --quick --oracle
+    python -m repro serve --sessions 64 --mode open --reads-per-txn 2
     python -m repro cache info
     python -m repro trace --workload art --scale 0.1 --out art.trace
     python -m repro trace --protocol --workload btree --scheme nvoverlay \\
@@ -543,6 +548,135 @@ def _cmd_load(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from .core import NVOverlayParams
+    from .harness.parallel import ParallelRunner
+    from .load.scenarios import QUICK_SCALE
+    from .serve import ServePolicy
+
+    scale = min(args.scale, QUICK_SCALE) if args.quick else args.scale
+    epoch_stores = args.epoch_stores
+    if epoch_stores is None and args.quick:
+        # Short smoke runs need several merged epochs for sessions to
+        # pin and GC to walk; shrink the epoch to match the store count.
+        epoch_stores = 200
+    config = None
+    if epoch_stores is not None:
+        from .sim import SystemConfig
+
+        config = SystemConfig(epoch_size_stores=epoch_stores)
+    try:
+        policy = ServePolicy(
+            sessions=args.sessions, reads_per_session=args.reads,
+            mode=args.mode, reads_per_txn=args.reads_per_txn,
+            gc_every=args.gc_every, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    params = NVOverlayParams(
+        pool_pages=args.pool_pages, quota_pages=args.quota_pages,
+        os_grow_pages=args.grow_pages,
+    )
+    template = RunSpec(
+        workload=args.workload, scheme="nvoverlay", config=config,
+        scale=scale, seed=args.seed, capture_latency=True,
+        oracle=args.oracle, nvo_params=params,
+    )
+    runner = ParallelRunner(jobs=args.jobs or 1, cache=not args.no_cache,
+                            progress=_print_progress)
+    write_only, serving = runner.run(
+        [template, template.with_changes(serve=policy)]
+    )
+    payload = {
+        "workload": args.workload,
+        "scale": scale,
+        "seed": args.seed,
+        "oracle": args.oracle,
+        "policy": policy.to_dict(),
+        "records": {
+            "write_only": write_only.to_dict(),
+            "serving": serving.to_dict(),
+        },
+    }
+    if args.artifact:
+        path = _write_serve_artifact(args.artifact, payload)
+        print(f"artifact: {path}", file=sys.stderr)
+    if args.json:
+        _emit_json(payload)
+        return 0
+    # Write side: the same store stream with and without readers —
+    # reader/writer NVM-bank interference shows up as the store-p99 gap.
+    write_rows = {
+        name: {
+            "cycles": rec.cycles,
+            "store_p95": rec.extra.get("store_latency_p95", 0),
+            "store_p99": rec.extra.get("store_latency_p99", 0),
+            "nvm_mb": rec.total_nvm_bytes / 1e6,
+        }
+        for name, rec in (("write_only", write_only), ("serving", serving))
+    }
+    print(report.format_table(
+        f"write side under {policy.sessions} reader sessions "
+        f"({args.workload}, scale {scale})",
+        ["cycles", "store_p95", "store_p99", "nvm_mb"],
+        write_rows,
+    ))
+    e = serving.extra
+    read_rows = {"serving": {
+        "reads": e.get("serve_reads", 0),
+        "read_p50": e.get("serve_read_p50", 0),
+        "read_p95": e.get("serve_read_p95", 0),
+        "read_p99": e.get("serve_read_p99", 0),
+        "staleness": round(e.get("serve_staleness_mean", 0.0), 2),
+        "stale_miss": e.get("serve_stale_misses", 0),
+    }}
+    print()
+    print(report.format_table(
+        "read side (epoch-pinned snapshot sessions)",
+        ["reads", "read_p50", "read_p95", "read_p99", "staleness",
+         "stale_miss"],
+        read_rows,
+    ))
+    gc_rows = {"serving": {
+        "reclaims": e.get("serve_reclaims", 0),
+        "compacted": e.get("serve_compacted_versions", 0),
+        "skip_pinned": e.get("serve_gc_skipped_pinned", 0),
+        "skip_retained": e.get("serve_gc_skipped_retained", 0),
+        "pages_peak": e.get("serve_pages_peak", 0),
+        "pages_final": e.get("serve_pages_final", 0),
+        "pages_reclaimed": e.get("serve_pages_reclaimed", 0),
+    }}
+    print()
+    print(report.format_table(
+        "version GC under session pins",
+        ["reclaims", "compacted", "skip_pinned", "skip_retained",
+         "pages_peak", "pages_final", "pages_reclaimed"],
+        gc_rows,
+    ))
+    if args.oracle:
+        print("oracle: session-frontier invariants checked on every read; "
+              "zero violations", file=sys.stderr)
+    return 0
+
+
+def _write_serve_artifact(directory: str, payload: dict) -> str:
+    """JSONL artifact: a meta line plus one line per compared cell."""
+    import json
+    from pathlib import Path
+
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"serve_{payload['workload']}.jsonl"
+    meta = {k: v for k, v in payload.items() if k != "records"}
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"kind": "meta", **meta}, sort_keys=True) + "\n")
+        for name, record in sorted(payload["records"].items()):
+            fh.write(json.dumps({"kind": "record", "cell": name, **record},
+                                sort_keys=True) + "\n")
+    return str(path)
+
+
 def _write_load_artifact(directory: str, result) -> str:
     """JSONL artifact: a meta line, one line per scheme, one crash line."""
     import json
@@ -734,6 +868,47 @@ def build_parser() -> argparse.ArgumentParser:
                              "per-scheme records + crash leg)")
     unified_opts(p_load)
     p_load.set_defaults(func=_cmd_load)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve concurrent snapshot-reader sessions over a live "
+             "write stream (repro.serve)",
+    )
+    p_serve.add_argument("--workload", default="load_burst",
+                         help="workload driving the write side")
+    p_serve.add_argument("--scale", type=float, default=0.1,
+                         help="write-traffic multiplier")
+    p_serve.add_argument("--seed", type=int, default=1)
+    p_serve.add_argument("--sessions", type=int, default=32,
+                         help="concurrent snapshot sessions")
+    p_serve.add_argument("--reads", type=int, default=32,
+                         help="reads per session before it re-acquires "
+                              "the frontier")
+    p_serve.add_argument("--mode", default="closed",
+                         choices=["closed", "open"],
+                         help="closed loop (one read per boundary) or "
+                              "open loop (Zipf arrivals)")
+    p_serve.add_argument("--reads-per-txn", type=float, default=4.0,
+                         help="open-loop arrival rate (reads per write "
+                              "transaction)")
+    p_serve.add_argument("--gc-every", type=int, default=64,
+                         help="write transactions between reclaim passes")
+    p_serve.add_argument("--epoch-stores", type=int, default=None,
+                         help="override epoch size in stores (--quick "
+                              "defaults this to 200)")
+    p_serve.add_argument("--pool-pages", type=int, default=4096,
+                         help="overlay pool pages per OMC")
+    p_serve.add_argument("--quota-pages", type=int, default=512,
+                         help="compaction quota across OMCs")
+    p_serve.add_argument("--grow-pages", type=int, default=512,
+                         help="pages the OS grants on pool exhaustion")
+    p_serve.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: cap scale, shrink epochs")
+    p_serve.add_argument("--artifact", default=None, metavar="DIR",
+                         help="also write DIR/serve_<workload>.jsonl")
+    unified_opts(p_serve, oracle_help="arm the invariant oracle incl. the "
+                                      "session-frontier checks on every read")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"])

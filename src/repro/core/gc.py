@@ -15,9 +15,9 @@ is the write-amplification/storage trade-off §V-F lets users make.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..sim.config import CACHE_LINE_SIZE
+from ..sim.config import CACHE_LINE_SIZE, PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
     from .omc import OMC, OMCCluster
@@ -28,21 +28,47 @@ def compact_if_needed(cluster: "OMCCluster", now: int) -> int:
     if cluster.quota_pages is None:
         return 0
     per_omc_quota = max(1, cluster.quota_pages // len(cluster.omcs))
+    pin_floor = cluster.pinned_epoch_floor()
     moved = 0
     for omc in cluster.omcs:
         if omc.pool.pages_in_use() > per_omc_quota:
-            moved += compact(omc, now, target_pages=per_omc_quota)
+            moved += compact(
+                omc, now, target_pages=per_omc_quota, pin_floor=pin_floor
+            )
     return moved
 
 
-def compact(omc: "OMC", now: int, target_pages: int = 0) -> int:
+def compact(
+    omc: "OMC",
+    now: int,
+    target_pages: int = 0,
+    pin_floor: Optional[int] = None,
+) -> int:
     """Copy live versions out of the oldest epochs (§V-D).
 
     Walks master-referenced versions grouped by the epoch that produced
     them, oldest first, relocating them into the current epoch until the
     pool fits within ``target_pages`` (or everything old moved).  Returns
     the number of versions relocated.
+
+    Versions in retained (time-travel) sub-pages are never moved, but
+    the skips are accounted rather than silent so callers can retry:
+    ``compaction_skipped_pinned`` counts lines an active snapshot
+    session still pins (epoch >= ``pin_floor``) — those free up when the
+    session releases; ``compaction_skipped_retained`` counts lines whose
+    retention the caller could drop first (``drop_epochs_before``).
     """
+    if target_pages:
+        # An undersized quota must degrade to steady-state packing, not
+        # to relocating every live version on every pass: clamp the
+        # target to the best perfectly-packed footprint of the live
+        # versions (which the master_refs-based accounting now measures
+        # honestly), and do nothing when the pool already fits.
+        lines_per_page = PAGE_SIZE // CACHE_LINE_SIZE
+        best_possible = -(-omc.pool.live_slots() // lines_per_page)
+        target_pages = max(target_pages, best_possible)
+        if omc.pool.pages_in_use() <= target_pages:
+            return 0
     by_epoch = _live_versions_by_epoch(omc)
     if not by_epoch:
         return 0
@@ -56,27 +82,52 @@ def compact(omc: "OMC", now: int, target_pages: int = 0) -> int:
     if len(candidates) > 1:
         candidates = candidates[:-1]
     moved = 0
+    skipped_pinned = 0
+    skipped_retained = 0
+    at_quota = False
     for epoch in candidates:
         if epoch >= target_epoch:
             break
+        pages_before = omc.pool.pages_in_use()
         for line in by_epoch[epoch]:
             location = omc.master.lookup(line)
             if location is None:
                 continue
             subpage = omc.pool.subpage(location.subpage_id)
             if subpage.retained:
-                # A retained (time-travel) epoch still needs this slot in
-                # place; the caller must drop old epochs before compacting.
+                if pin_floor is not None and epoch >= pin_floor:
+                    skipped_pinned += 1
+                else:
+                    skipped_retained += 1
+                continue
+            if subpage.master_refs >= subpage.capacity:
+                # Every slot live: this sub-page wastes no space, so
+                # relocating it can never free a page — it would only be
+                # write amplification (re-compacting last pass's output).
                 continue
             _line, oid, data = omc.pool.read_version(
                 location.subpage_id, location.slot
             )
             _relocate(omc, line, oid, data, target_epoch, now)
             moved += 1
-        if target_pages and omc.pool.pages_in_use() <= target_pages:
+            # Check the quota after every relocation, not once per epoch:
+            # a dense epoch used to be drained wholesale, overshooting the
+            # target and burning NVM data writes the quota never asked for.
+            if target_pages and omc.pool.pages_in_use() <= target_pages:
+                at_quota = True
+                break
+        if at_quota:
+            break
+        if moved and omc.pool.pages_in_use() >= pages_before:
+            # Draining the oldest remaining epoch freed nothing; newer
+            # epochs are denser still, so pressing on is pure churn.
             break
     if moved:
         omc.stats.inc(f"omc{omc.id}.compacted_versions", moved)
+    if skipped_pinned:
+        omc.stats.inc(f"omc{omc.id}.compaction_skipped_pinned", skipped_pinned)
+    if skipped_retained:
+        omc.stats.inc(f"omc{omc.id}.compaction_skipped_retained", skipped_retained)
     return moved
 
 
@@ -99,7 +150,7 @@ def _relocate(omc: "OMC", line: int, oid: int, data: int, target_epoch: int, now
     physical placement (and hence reclamation group) changes.
     """
     page = line >> 6
-    subpage = omc._subpage_with_room(target_epoch, page)
+    subpage = omc._subpage_with_room(target_epoch, page, for_relocation=True)
     slot = omc.pool.write_version(subpage, line, oid, data)
     from .mapping import VersionLocation
 

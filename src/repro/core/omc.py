@@ -72,6 +72,11 @@ class OMC:
         # Placement cursors: epoch -> page -> current sub-page with room,
         # and epoch -> page -> extent count (for size-class selection).
         self._cursors: Dict[int, Dict[int, object]] = {}
+        # Compaction keeps its own cursor namespace: a relocated sub-page
+        # is never retained (its versions live only through the Master
+        # Table), so it must never be shared with write-path versions of
+        # the same epoch, whose slots a retained epoch table may need.
+        self._reloc_cursors: Dict[int, Dict[int, object]] = {}
         self._extent_counts: Dict[int, Dict[int, int]] = {}
         self._epoch_subpages: Dict[int, List[int]] = {}
         self._subpage_epoch: Dict[int, int] = {}
@@ -134,10 +139,11 @@ class OMC:
         except KeyError:
             self.stats.inc(self._versions_key)
 
-    def _subpage_with_room(self, epoch: int, page: int):
-        cursors = self._cursors.get(epoch)
+    def _subpage_with_room(self, epoch: int, page: int, for_relocation: bool = False):
+        cursor_map = self._reloc_cursors if for_relocation else self._cursors
+        cursors = cursor_map.get(epoch)
         if cursors is None:
-            cursors = self._cursors[epoch] = {}
+            cursors = cursor_map[epoch] = {}
         subpage = cursors.get(page)
         if subpage is not None and not subpage.full():  # type: ignore[union-attr]
             return subpage
@@ -154,6 +160,11 @@ class OMC:
             self.pool.grow(self.os_grow_pages)
             self.stats.inc(f"omc{self.id}.os_grows")
             new_subpage = self.pool.alloc_subpage(size_class)
+        # Align the retention flag with the epoch-retention state at
+        # allocation time.  Relocated sub-pages are reachable only via
+        # the Master Table, so marking them retained (the old behaviour)
+        # pinned every relocated version against all future compaction.
+        new_subpage.retained = self.retain_epoch_tables and not for_relocation
         cursors[page] = new_subpage
         extents[page] = extent_index + 1
         self._epoch_subpages.setdefault(epoch, []).append(new_subpage.id)
@@ -264,21 +275,27 @@ class OMC:
         """Reclaim a merged epoch's DRAM table and unreferenced storage."""
         self.tables.pop(epoch, None)
         self._cursors.pop(epoch, None)
+        self._reloc_cursors.pop(epoch, None)
         self._extent_counts.pop(epoch, None)
         for subpage_id in self._epoch_subpages.pop(epoch, []):
-            subpage = self.pool.subpage(subpage_id)
+            subpage = self.pool._subpages.get(subpage_id)
+            if subpage is None:
+                continue  # already reclaimed when its last master ref dropped
             subpage.retained = False
             if subpage.master_refs == 0:
                 self._free_subpage(subpage_id)
 
     def _free_subpage(self, subpage_id: int) -> None:
         epoch = self._subpage_epoch.pop(subpage_id, None)
-        if epoch is not None and epoch in self._cursors:
+        if epoch is not None:
             # Drop any placement cursor that points at this sub-page.
-            cursors = self._cursors[epoch]
-            for page, subpage in list(cursors.items()):
-                if subpage.id == subpage_id:  # type: ignore[union-attr]
-                    del cursors[page]
+            for cursor_map in (self._cursors, self._reloc_cursors):
+                cursors = cursor_map.get(epoch)
+                if cursors is None:
+                    continue
+                for page, subpage in list(cursors.items()):
+                    if subpage.id == subpage_id:  # type: ignore[union-attr]
+                        del cursors[page]
         self.pool.free_subpage(subpage_id)
 
     def drop_epochs_before(self, epoch: int) -> None:
@@ -302,6 +319,13 @@ class OMC:
 
         Returns (data, version_epoch) with MVCC-style fall-through, or
         None if the line has no version that old.
+
+        When the fall-through exhausts the retained per-epoch tables it
+        falls back to the Master Table: a version whose epoch table was
+        reclaimed (GC, or never retained) survives there for as long as
+        it is the line's most recent merged version.  The master version
+        is accepted only if it is old enough for the requested snapshot
+        — never a version newer than ``epoch``.
         """
         if self.buffer is not None:
             self.buffer.flush_all(0)
@@ -313,6 +337,13 @@ class OMC:
                 _line, oid, data = self.pool.read_version(
                     location.subpage_id, location.slot
                 )
+                return data, oid
+        location = self.master.lookup(line)
+        if location is not None:
+            _line, oid, data = self.pool.read_version(
+                location.subpage_id, location.slot
+            )
+            if oid <= epoch:
                 return data, oid
         return None
 
@@ -378,6 +409,10 @@ class OMCCluster:
         #: Optional protocol oracle (repro.oracle); set when the oracle
         #: binds to an armed machine.  None disables every hook.
         self.oracle = None
+        #: Epoch pins held by snapshot sessions (repro.serve):
+        #: epoch -> number of sessions reading at it.  ``reclaim`` never
+        #: drops an epoch at or above the lowest pinned epoch.
+        self._epoch_pins: Dict[int, int] = {}
 
     def set_fault_injector(self, injector) -> None:
         """Arm (or disarm, with None) crash-point hooks cluster-wide."""
@@ -512,6 +547,10 @@ class OMCCluster:
                 # (rebuilding the bitmap) and re-map it in the new master.
                 page = line >> 6
                 subpage = new_omc._subpage_with_room(oid, page)
+                # The rebuilt per-epoch tables reference these slots until
+                # a reclaim explicitly drops them, regardless of the
+                # retention policy new versions will follow.
+                subpage.retained = True
                 slot = new_omc.pool.write_version(subpage, line, oid, data)
                 new_location = VersionLocation(subpage.id, slot)
                 subpage.master_refs += 1
@@ -536,6 +575,53 @@ class OMCCluster:
 
     def time_travel_read(self, line: int, epoch: int) -> Optional[Tuple[int, int]]:
         return self.omc_of(line).time_travel_read(line, epoch)
+
+    # -- snapshot sessions & reclaim ---------------------------------------
+    def pin_epoch(self, epoch: int) -> None:
+        """A snapshot session opened a read view at ``epoch``.
+
+        O(1): one counter bump — no table scan, no per-sub-page work —
+        which is what makes session acquisition constant-time no matter
+        how many epochs are retained.
+        """
+        self._epoch_pins[epoch] = self._epoch_pins.get(epoch, 0) + 1
+
+    def unpin_epoch(self, epoch: int) -> None:
+        """A snapshot session at ``epoch`` released its read view."""
+        count = self._epoch_pins.get(epoch)
+        if not count:
+            raise ValueError(f"unpin of epoch {epoch}, which holds no pin")
+        if count == 1:
+            del self._epoch_pins[epoch]
+        else:
+            self._epoch_pins[epoch] = count - 1
+
+    def pinned_epoch_floor(self) -> Optional[int]:
+        """Lowest epoch an active session pins, or None when unpinned."""
+        return min(self._epoch_pins) if self._epoch_pins else None
+
+    def reclaim(self, now: int) -> int:
+        """Drop unpinned retained epochs, then compact under the quota.
+
+        The serve-side GC entry point.  Epoch tables strictly below both
+        the recoverable frontier and the lowest pinned epoch are
+        released; their still-live versions stay readable through the
+        Master Table fall-back in ``time_travel_read``.  With retention
+        dropped, version compaction can actually relocate the survivors
+        and return whole pages to the pool.  Returns the number of
+        versions compaction relocated.
+        """
+        floor = self.rec_epoch + 1
+        pinned = self.pinned_epoch_floor()
+        if pinned is not None:
+            floor = min(floor, pinned)
+        if self.oracle is not None:
+            self.oracle.on_reclaim(floor, now)
+        for omc in self.omcs:
+            omc.drop_epochs_before(floor)
+        from .gc import compact_if_needed  # local import: gc uses OMC
+
+        return compact_if_needed(self, now)
 
     def snapshot_image(self, epoch: int) -> Dict[int, int]:
         """Full reconstructed image as of ``epoch`` (debug interface)."""

@@ -162,12 +162,23 @@ class PagePool:
         return self.pages_in_use() * PAGE_SIZE
 
     def utilization(self) -> float:
-        """Fraction of allocated bytes holding live version slots."""
+        """Fraction of allocated bytes holding *live* version slots.
+
+        Live means referenced by the Master Table (``master_refs``), not
+        merely written (``used``): a slot whose master reference was
+        dropped is dead space awaiting reclamation, and counting it made
+        the pool look denser than it is — exactly when compaction-trigger
+        decisions need to see the real occupancy.
+        """
         in_use = self.bytes_in_use()
         if in_use == 0:
             return 1.0
-        live = sum(sp.used for sp in self._subpages.values()) * CACHE_LINE_SIZE
+        live = sum(sp.master_refs for sp in self._subpages.values()) * CACHE_LINE_SIZE
         return live / in_use
+
+    def live_slots(self) -> int:
+        """Version slots the Master Table references (true live count)."""
+        return sum(sp.master_refs for sp in self._subpages.values())
 
     def live_subpages(self) -> int:
         return len(self._subpages)

@@ -141,7 +141,19 @@ def simulate(spec: RunSpec) -> RunRecord:
         spec.workload, num_threads=config.num_cores, scale=spec.scale,
         seed=spec.seed,
     )
+    scheduler = None
+    if spec.serve is not None:
+        # Lazy import: only serve cells pay for the reader engine.
+        from ..serve import ReaderScheduler
+
+        sampler_factory = getattr(workload, "read_sampler", None)
+        sampler = (
+            sampler_factory(spec.serve.seed) if sampler_factory is not None else None
+        )
+        scheduler = ReaderScheduler(machine, spec.serve, sampler=sampler)
     result = machine.run(workload)
+    if scheduler is not None:
+        scheduler.finalize(result.cycles)
 
     stats = machine.stats
     nvm_bytes = {
@@ -195,6 +207,8 @@ def simulate(spec: RunSpec) -> RunRecord:
     extras_hook = getattr(workload, "record_extras", None)
     if extras_hook is not None:
         record.extra.update(extras_hook(machine))
+    if scheduler is not None:
+        record.extra.update(scheduler.record_extras())
     return record
 
 

@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional
 
 from ..core import NVOverlayParams
 from ..faults.plan import CrashPlan
+from ..serve.policy import ServePolicy
 from ..sim import SystemConfig
 from ..sim.config import (
     BurstyEpochPolicy,
@@ -46,7 +47,10 @@ from ..sim.config import (
 #: store_latency_p95/p99 extras, and workloads may contribute
 #: ``record_extras`` (multi-tenant load attribution) — cached records
 #: from schema 4 would be missing those fields.
-CACHE_SCHEMA_VERSION = 5
+#: 6: ``serve`` joined the spec (snapshot-serving reader policy); serve
+#: runs interleave reader NVM traffic and GC with the write stream, so
+#: their records must never collide with write-only cells.
+CACHE_SCHEMA_VERSION = 6
 
 
 # --------------------------------------------------------------------------
@@ -159,6 +163,12 @@ class RunSpec:
     #: runs are bit-identical — but part of the cache key so a cached
     #: unchecked record never satisfies a checked request.
     oracle: bool = False
+    #: Snapshot-serving reader policy (repro.serve).  Non-None attaches
+    #: a ReaderScheduler to the run: concurrent epoch-pinned sessions
+    #: read through the Master Mapping Table while the write side runs,
+    #: with GC reclaiming unpinned epochs.  Readers share the simulated
+    #: NVM banks, so serve runs are distinct cells in the cache.
+    serve: Optional[ServePolicy] = None
 
     @property
     def resolved_config(self) -> SystemConfig:
@@ -197,6 +207,7 @@ class RunSpec:
             "capture_store_log": spec.capture_store_log,
             "crash_plan": spec.crash_plan.to_dict() if spec.crash_plan else None,
             "oracle": spec.oracle,
+            "serve": spec.serve.to_dict() if spec.serve else None,
         }
 
     @classmethod
@@ -215,6 +226,10 @@ class RunSpec:
                 if data.get("crash_plan") else None
             ),
             oracle=data.get("oracle", False),
+            serve=(
+                ServePolicy.from_dict(data["serve"])
+                if data.get("serve") else None
+            ),
         )
 
     def cache_key(self) -> str:

@@ -2,9 +2,9 @@
 
 The service-level evaluation layer: Zipf-skewed multi-tenant traffic
 (``repro.workloads.tenant``) driven through the standard harness, with
-scenarios — steady, burst, diurnal, worker-failure — registered in a
-single registry that the CLI (``repro load``), tests and future
-experiments all resolve names through.
+scenarios — steady, burst, diurnal, worker-failure, timetravel —
+registered in a single registry that the CLI (``repro load``), tests and
+future experiments all resolve names through.
 
     from repro.load import run_steady_load, run_worker_failure
 
@@ -23,7 +23,9 @@ cycle/byte numbers.
 
 from .scenarios import (
     DEFAULT_CRASH_AT,
+    DEFAULT_SERVE_POLICY,
     QUICK_SCALE,
+    SERVE_NVO_PARAMS,
     LoadResult,
     Scenario,
     get_scenario,
@@ -31,13 +33,16 @@ from .scenarios import (
     run_burst_load,
     run_scenario,
     run_steady_load,
+    run_timetravel_serve,
     run_worker_failure,
     scenario_names,
 )
 
 __all__ = [
     "DEFAULT_CRASH_AT",
+    "DEFAULT_SERVE_POLICY",
     "QUICK_SCALE",
+    "SERVE_NVO_PARAMS",
     "LoadResult",
     "Scenario",
     "get_scenario",
@@ -45,6 +50,7 @@ __all__ = [
     "run_burst_load",
     "run_scenario",
     "run_steady_load",
+    "run_timetravel_serve",
     "run_worker_failure",
     "scenario_names",
 ]

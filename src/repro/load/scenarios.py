@@ -21,11 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..core import NVOverlayParams
 from ..faults.plan import CrashPlan
 from ..harness import report
 from ..harness.parallel import ParallelRunner
 from ..harness.runner import RunRecord, make_scheme
 from ..harness.spec import RunSpec
+from ..serve import ServePolicy
 from ..sim import Machine
 from ..workloads import TenantLoadWorkload, make_workload
 
@@ -35,6 +37,17 @@ QUICK_SCALE = 0.02
 #: Default crash point for crash scenarios: the middle of the run's
 #: store stream, which for the burst pattern lands inside the burst.
 DEFAULT_CRASH_AT = 0.5
+
+#: Reader mix for serve scenarios: 32 concurrent sessions, closed-loop,
+#: reclaim every 64 write transactions.
+DEFAULT_SERVE_POLICY = ServePolicy(sessions=32, reads_per_session=32, gc_every=64)
+
+#: Overlay sizing for serve scenarios: a pool quota tight enough that
+#: version compaction actually runs under the read+write load, plus an
+#: OS grant so mid-run exhaustion grows the pool instead of failing.
+SERVE_NVO_PARAMS = NVOverlayParams(
+    pool_pages=4096, quota_pages=512, os_grow_pages=512
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +60,9 @@ class Scenario:
     workload: str
     #: Crash a worker mid-run, verify recovery, resume the tail.
     crash: bool = False
+    #: Serve concurrent snapshot-reader sessions against the nvoverlay
+    #: cell while it runs (see repro.serve).
+    serve: bool = False
 
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -61,6 +77,10 @@ def register_scenario(scenario: Scenario) -> Scenario:
 
 
 def get_scenario(name: str) -> Scenario:
+    # Accept the workload-style spelling too ("load_timetravel" for
+    # "timetravel") — the two namespaces are easy to mix up at the CLI.
+    if name not in _REGISTRY and name.startswith("load_"):
+        name = name[len("load_"):]
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -93,6 +113,13 @@ register_scenario(Scenario(
     "load_burst",
     crash=True,
 ))
+register_scenario(Scenario(
+    "timetravel",
+    "32 concurrent snapshot readers over burst writes; version GC runs "
+    "under session pins",
+    "load_burst",
+    serve=True,
+))
 
 
 @dataclass
@@ -112,6 +139,24 @@ class LoadResult:
     class_rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Crash/recover/resume leg outcome (crash scenarios only).
     crash: Optional[Dict[str, Any]] = None
+
+    @property
+    def serve_row(self) -> Optional[Dict[str, float]]:
+        """Snapshot-serving summary, or None for write-only scenarios."""
+        record = self.records.get("nvoverlay")
+        if record is None or "serve_reads" not in record.extra:
+            return None
+        e = record.extra
+        return {
+            "sessions": e.get("serve_sessions", 0),
+            "reads": e.get("serve_reads", 0),
+            "read_p50": e.get("serve_read_p50", 0),
+            "read_p99": e.get("serve_read_p99", 0),
+            "staleness": round(e.get("serve_staleness_mean", 0.0), 2),
+            "stale_miss": e.get("serve_stale_misses", 0),
+            "pages_reclaimed": e.get("serve_pages_reclaimed", 0),
+            "compacted": e.get("serve_compacted_versions", 0),
+        }
 
     @property
     def accesses(self) -> int:
@@ -144,6 +189,7 @@ class LoadResult:
             "ok": self.ok,
             "rows": self.rows,
             "class_rows": self.class_rows,
+            "serve": self.serve_row,
             "crash": self.crash,
             "records": {name: r.to_dict() for name, r in self.records.items()},
         }
@@ -166,6 +212,14 @@ class LoadResult:
                 "per-tenant-class snapshot overhead (nvoverlay)",
                 ["tenants", "requests", "nvm_mb", "write_amp"],
                 self.class_rows,
+            ))
+        serve = self.serve_row
+        if serve is not None:
+            parts.append(report.format_table(
+                "snapshot serving (nvoverlay readers)",
+                ["sessions", "reads", "read_p50", "read_p99", "staleness",
+                 "stale_miss", "pages_reclaimed", "compacted"],
+                {"serve": serve},
             ))
         if self.crash is not None:
             c = self.crash
@@ -223,6 +277,7 @@ def run_scenario(
     quick: bool = False,
     crash_at: Optional[float] = None,
     oracle: bool = False,
+    serve: Optional[ServePolicy] = None,
     config=None,
     jobs: Optional[int] = None,
     cache: Any = False,
@@ -234,7 +289,9 @@ def run_scenario(
     it turns any scenario into a crash scenario.  ``quick`` caps the
     scale at :data:`QUICK_SCALE` for smoke runs.  ``config`` overrides
     the machine geometry (e.g. a smaller ``epoch_size_stores`` so short
-    smoke runs still cross recoverable epochs).
+    smoke runs still cross recoverable epochs).  ``serve`` overrides the
+    reader policy for serve scenarios (ignored otherwise — only serve
+    scenarios attach readers to the nvoverlay cell).
     """
     scenario = get_scenario(name)
     if quick:
@@ -244,7 +301,15 @@ def run_scenario(
         scale=scale, seed=seed, capture_latency=True, oracle=oracle,
     )
     runner = ParallelRunner(jobs=jobs or 1, cache=cache, progress=progress)
-    specs = [template, template.with_changes(scheme="nvoverlay")]
+    nvo_spec = template.with_changes(scheme="nvoverlay")
+    if scenario.serve:
+        # Readers only make sense against the overlay cell; the ideal
+        # leg stays write-only so norm_cycles isolates the serving cost.
+        nvo_spec = nvo_spec.with_changes(
+            serve=serve or DEFAULT_SERVE_POLICY,
+            nvo_params=nvo_spec.nvo_params or SERVE_NVO_PARAMS,
+        )
+    specs = [template, nvo_spec]
     ideal, nvo = runner.run(specs)
     result = LoadResult(
         scenario=name, workload=scenario.workload, scale=scale, seed=seed,
@@ -352,3 +417,8 @@ def run_worker_failure(**kwargs: Any) -> LoadResult:
     """Node dies mid-burst, recovers from NVM, resumes remaining traffic."""
     kwargs.setdefault("crash_at", DEFAULT_CRASH_AT)
     return run_scenario("worker_failure", **kwargs)
+
+
+def run_timetravel_serve(**kwargs: Any) -> LoadResult:
+    """Concurrent snapshot readers + version GC over a burst write stream."""
+    return run_scenario("timetravel", **kwargs)

@@ -307,6 +307,97 @@ class ProtocolOracle:
                             now,
                         )
 
+    # -- snapshot-serving hooks (repro.serve) -----------------------------
+    def on_session_acquire(self, session_id: int, epoch: int, now: int) -> None:
+        """A snapshot session opened a read view pinned at ``epoch``.
+
+        A servable view must sit at or below the recoverable frontier:
+        epochs beyond it are not yet persisted by every VD, so a session
+        there could observe a torn mix of flushed and in-flight versions
+        across VDs.  The min-ver bound is checked independently of
+        ``rec_epoch`` so a frontier bookkeeping bug cannot hide one.
+        """
+        self.trace.emit("session_acquire", now, session=session_id, epoch=epoch)
+        cluster = self.cluster
+        if cluster is None:
+            return
+        if epoch > cluster.rec_epoch:
+            self._fail(
+                "session-frontier",
+                f"session {session_id} acquired epoch {epoch} beyond the "
+                f"recoverable frontier {cluster.rec_epoch}",
+                now,
+            )
+        bound = min(cluster.min_vers.values()) - 1
+        if epoch > bound:
+            self._fail(
+                "session-frontier",
+                f"session {session_id} acquired epoch {epoch} past the "
+                f"min-ver bound {bound} — some VD has not persisted it, "
+                "so the view could be torn across VDs",
+                now,
+            )
+
+    def on_session_read(
+        self,
+        session_id: int,
+        epoch: int,
+        line: int,
+        oid: Optional[int],
+        now: int,
+    ) -> None:
+        """A session read resolved ``line`` to version ``oid`` (None: miss).
+
+        The consistent-frontier guarantee: a reader pinned at ``epoch``
+        never observes a version newer than its snapshot.  Any torn read
+        — mixing post-snapshot state into the view — surfaces here as an
+        oid beyond the session epoch.
+        """
+        self.trace.emit(
+            "session_read", now, session=session_id, epoch=epoch, line=line, oid=oid
+        )
+        if oid is None:
+            return
+        if oid > epoch:
+            self._fail(
+                "session-read-version",
+                f"session {session_id} pinned at epoch {epoch} observed "
+                f"line {line:#x} @ version {oid} — newer than its snapshot",
+                now,
+            )
+        if oid < 1:
+            self._fail(
+                "session-read-version",
+                f"session {session_id} observed line {line:#x} @ "
+                f"impossible version {oid}",
+                now,
+            )
+
+    def on_session_release(self, session_id: int, epoch: int, now: int) -> None:
+        self.trace.emit("session_release", now, session=session_id, epoch=epoch)
+
+    def on_reclaim(self, floor: int, now: int) -> None:
+        """GC is about to drop retained epochs strictly below ``floor``."""
+        self.trace.emit("reclaim", now, floor=floor)
+        cluster = self.cluster
+        if cluster is None:
+            return
+        pinned = cluster.pinned_epoch_floor()
+        if pinned is not None and floor > pinned:
+            self._fail(
+                "session-pin",
+                f"reclaim floor {floor} would drop epoch tables an active "
+                f"session still pins (lowest pin {pinned})",
+                now,
+            )
+        if floor > cluster.rec_epoch + 1:
+            self._fail(
+                "session-pin",
+                f"reclaim floor {floor} reaches beyond the recoverable "
+                f"frontier {cluster.rec_epoch}",
+                now,
+            )
+
     # -- periodic / on-demand structural scans ----------------------------
     def poll(self, now: int) -> None:
         """Called by ``Machine.run`` at transaction boundaries."""

@@ -37,6 +37,10 @@ EVENT_KINDS = (
     "min_ver",
     "merge",
     "rec_epoch",
+    "session_acquire",
+    "session_read",
+    "session_release",
+    "reclaim",
 )
 
 

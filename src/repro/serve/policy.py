@@ -1,0 +1,61 @@
+"""ServePolicy: the read-side knob set of a snapshot-serving run.
+
+Kept in its own module with stdlib-only imports so ``harness.spec`` can
+embed it in ``RunSpec`` without dragging the simulator in: a policy is
+plain frozen data, JSON-round-trippable for the on-disk result cache and
+the process-pool runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+#: Arrival disciplines the reader scheduler understands.
+MODES = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Configuration of the snapshot-serving read side (``repro.serve``).
+
+    The write side of a serve run is whatever the ``RunSpec`` already
+    describes; this only shapes the reader traffic multiplexed into it.
+    """
+
+    #: Concurrent reader sessions the scheduler keeps open.
+    sessions: int = 32
+    #: Reads a session issues before releasing its snapshot and
+    #: re-acquiring at the then-current frontier.
+    reads_per_session: int = 64
+    #: "closed" — one outstanding read per scheduler step, sessions
+    #: taking turns; "open" — reads arrive at a fixed rate per write
+    #: transaction regardless of reader progress.
+    mode: str = "closed"
+    #: Open-loop arrival rate, in reads per write-side transaction.
+    reads_per_txn: float = 4.0
+    #: Write transactions between reclaim passes (drop unpinned epochs,
+    #: then compact under the pool quota).
+    gc_every: int = 32
+    #: Seed for the Zipf read-key sampler, independent of the write
+    #: stream's seed so readers never perturb the write schedule.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("a serve run needs at least one session")
+        if self.reads_per_session < 1:
+            raise ValueError("sessions must issue at least one read")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown serve mode {self.mode!r}; pick from {MODES}")
+        if self.reads_per_txn <= 0:
+            raise ValueError("open-loop arrival rate must be positive")
+        if self.gc_every < 1:
+            raise ValueError("gc_every must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ServePolicy":
+        return ServePolicy(**data)

@@ -1,0 +1,204 @@
+"""ReaderScheduler: multiplex snapshot sessions against a live machine.
+
+The scheduler hangs off ``Machine.txn_hook`` — a per-transaction-boundary
+callback resolved to a local in the run loop (None costs nothing, so
+unserved runs stay bit-identical).  At each boundary it issues reads on
+behalf of a pool of concurrent :class:`SnapshotSession` objects,
+interleaved with the write-side store stream:
+
+* **closed** loop — sessions take turns, one outstanding read per
+  boundary; each session drains ``reads_per_session`` reads, releases,
+  and re-acquires at the then-current frontier (the classic
+  think-time-one client).
+* **open** loop — reads arrive at ``reads_per_txn`` per write
+  transaction regardless of reader progress, Zipf-keyed over the same
+  popularity skew the write side uses.
+
+Read latency is charged against the simulated NVM device — the same
+banks the write side queues background version writes on — so reader /
+writer interference is real in both directions and shows up in the
+reported p50/p95/p99.  Every ``gc_every`` boundaries the scheduler runs
+``OMCCluster.reclaim``: unpinned epochs drop, then version compaction
+relocates survivors under the pool quota, all while sessions keep
+reading.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..sim.memory import line_of
+from .policy import ServePolicy
+from .session import SessionManager, SnapshotSession
+
+#: Cycles to walk the DRAM-resident mapping tables for one read (the
+#: per-epoch fall-through plus the Master Table radix walk).
+MAPPING_WALK_CYCLES = 24
+
+#: Upper bound on the fallback sampler's candidate line set.
+_FALLBACK_LINES = 4096
+
+
+class ReaderScheduler:
+    """Drives concurrent snapshot readers through a machine's run loop."""
+
+    def __init__(
+        self,
+        machine,
+        policy: ServePolicy,
+        sampler: Optional[Callable[[], int]] = None,
+    ) -> None:
+        cluster = getattr(machine.scheme, "cluster", None)
+        if cluster is None:
+            raise ValueError(
+                "snapshot serving needs the nvoverlay scheme: "
+                f"{machine.scheme.name!r} has no OMC cluster to read from"
+            )
+        params = getattr(machine.scheme, "params", None)
+        if params is not None and not params.retain_epoch_tables:
+            raise ValueError(
+                "snapshot serving needs retain_epoch_tables=True; "
+                "without retained tables there are no snapshots to pin"
+            )
+        if machine.txn_hook is not None:
+            raise ValueError("machine already has a txn_hook installed")
+        self.machine = machine
+        self.cluster = cluster
+        self.policy = policy
+        self.manager = SessionManager(cluster, stats=machine.stats)
+        #: Reader key sampler; defaults to sampling lines the Master
+        #: Table already maps when the workload offers nothing better.
+        self._sampler = sampler
+        self._rng = random.Random((policy.seed << 16) ^ 0x5E55109)
+        self._slots: List[Optional[SnapshotSession]] = [None] * policy.sessions
+        self._slot_reads: List[int] = [0] * policy.sessions
+        self._cursor = 0
+        self._arrivals = 0.0
+        self._boundaries = 0
+        self._fallback_lines: List[int] = []
+        self.reclaims = 0
+        self.compacted = 0
+        self.pages_peak = 0
+        #: Sum over reclaims of the pages_in_use drop each one produced —
+        #: the direct proof that GC reclaims pages under quota pressure.
+        self.pages_reclaimed = 0
+        self.reclaim_drop_max = 0
+        self.finalized = False
+        machine.txn_hook = self.on_txn_boundary
+
+    # ------------------------------------------------------------------
+    # Run-loop hook
+    # ------------------------------------------------------------------
+    def on_txn_boundary(self, now: int) -> None:
+        self._boundaries += 1
+        if self.policy.mode == "closed":
+            self._issue_read(now)
+        else:
+            self._arrivals += self.policy.reads_per_txn
+            due = int(self._arrivals)
+            self._arrivals -= due
+            for _ in range(due):
+                self._issue_read(now)
+        pages = self.cluster.pages_in_use()
+        if pages > self.pages_peak:
+            self.pages_peak = pages
+        if self._boundaries % self.policy.gc_every == 0:
+            self._reclaim(now, pages)
+
+    def _issue_read(self, now: int) -> None:
+        index = self._cursor
+        self._cursor = (index + 1) % len(self._slots)
+        session = self._slots[index]
+        if session is None or self._slot_reads[index] >= self.policy.reads_per_session:
+            if session is not None:
+                self.manager.release(session, now)
+            session = self.manager.acquire(now=now)
+            self._slots[index] = session
+            self._slot_reads[index] = 0
+        addr = self._sample_addr()
+        result = session.read(addr, now)
+        self._slot_reads[index] += 1
+        # Charge the mapping walk plus, on a hit, the NVM data read —
+        # against the same banks the write side queues version writes
+        # on, so reader/writer interference is bidirectional and real.
+        latency = MAPPING_WALK_CYCLES
+        if result is not None:
+            latency += self.machine.nvm.read(line_of(addr), now)
+        self.machine.stats.observe("serve_read_latency", latency)
+
+    def _sample_addr(self) -> int:
+        if self._sampler is not None:
+            return self._sampler()
+        lines = self._fallback_lines
+        if not lines:
+            for omc in self.cluster.omcs:
+                for line, _location in omc.master.entries():
+                    lines.append(line)
+                    if len(lines) >= _FALLBACK_LINES:
+                        break
+                if len(lines) >= _FALLBACK_LINES:
+                    break
+            if not lines:
+                lines.append(0)
+            self._fallback_lines = lines
+        return self._rng.choice(lines) << 6  # line -> byte address
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+    def finalize(self, now: int) -> None:
+        """Drain every session and run one final reclaim pass."""
+        if self.finalized:
+            return
+        self.finalized = True
+        self.machine.txn_hook = None
+        self.manager.release_all(now)
+        self._reclaim(now, self.cluster.pages_in_use())
+
+    def _reclaim(self, now: int, pages_before: int) -> None:
+        self.compacted += self.cluster.reclaim(now)
+        self.reclaims += 1
+        self._fallback_lines = []  # master moved; resample
+        drop = pages_before - self.cluster.pages_in_use()
+        if drop > 0:
+            self.pages_reclaimed += drop
+            if drop > self.reclaim_drop_max:
+                self.reclaim_drop_max = drop
+
+    def record_extras(self) -> Dict[str, float]:
+        """Serve-side metrics merged into ``RunRecord.extra``."""
+        stats = self.machine.stats
+        manager = self.manager
+        reads = manager.reads
+        extras: Dict[str, float] = {
+            "serve_sessions": float(self.policy.sessions),
+            "serve_sessions_acquired": float(manager.acquired),
+            "serve_sessions_released": float(manager.released),
+            "serve_reads": float(reads),
+            "serve_read_hits": float(manager.hits),
+            "serve_stale_misses": float(manager.stale_misses),
+            "serve_cold_misses": float(manager.cold_misses),
+            "serve_staleness_max": float(manager.staleness_max),
+            "serve_staleness_mean": (
+                manager.staleness_sum / reads if reads else 0.0
+            ),
+            "serve_reclaims": float(self.reclaims),
+            "serve_compacted_versions": float(self.compacted),
+            "serve_pages_peak": float(self.pages_peak),
+            "serve_pages_final": float(self.cluster.pages_in_use()),
+            "serve_pages_reclaimed": float(self.pages_reclaimed),
+            "serve_reclaim_drop_max": float(self.reclaim_drop_max),
+        }
+        if reads:
+            extras["serve_read_p50"] = stats.percentile("serve_read_latency", 0.50)
+            extras["serve_read_p95"] = stats.percentile("serve_read_latency", 0.95)
+            extras["serve_read_p99"] = stats.percentile("serve_read_latency", 0.99)
+        skipped_pinned = 0
+        skipped_retained = 0
+        for omc in self.cluster.omcs:
+            skipped_pinned += stats.get(f"omc{omc.id}.compaction_skipped_pinned")
+            skipped_retained += stats.get(f"omc{omc.id}.compaction_skipped_retained")
+        extras["serve_gc_skipped_pinned"] = float(skipped_pinned)
+        extras["serve_gc_skipped_retained"] = float(skipped_retained)
+        return extras

@@ -1,0 +1,184 @@
+"""Epoch-pinned snapshot read sessions over the OMC cluster (§V-E).
+
+A :class:`SnapshotSession` is a point-in-time read view: it pins one
+recoverable epoch and answers reads with MVCC fall-through as of that
+epoch while the write side keeps inserting versions and advancing the
+frontier.  Acquisition is O(1) — one pin-counter bump on the cluster —
+following the constant-time snapshot acquisition semantics of Wei et
+al. (PAPERS.md): no table scan, no copying, no per-sub-page work, no
+matter how many epochs are retained.
+
+Release is explicit (or via ``with``).  While any session pins an
+epoch, ``OMCCluster.reclaim`` keeps that epoch's tables and sub-pages
+alive; GC skips them with accounted skip-and-retry rather than silently
+(see ``repro.core.gc``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..sim.memory import line_of
+from ..sim.stats import Stats
+
+
+class SnapshotSession:
+    """One epoch-pinned read view.  Create via ``SessionManager.acquire``."""
+
+    __slots__ = (
+        "manager",
+        "id",
+        "epoch",
+        "acquired_at",
+        "released",
+        "reads",
+        "hits",
+        "stale_misses",
+        "cold_misses",
+        "staleness_sum",
+        "staleness_max",
+    )
+
+    def __init__(
+        self, manager: "SessionManager", session_id: int, epoch: int, now: int
+    ) -> None:
+        self.manager = manager
+        self.id = session_id
+        self.epoch = epoch
+        self.acquired_at = now
+        self.released = False
+        self.reads = 0
+        self.hits = 0
+        #: Reads answered with None because GC reclaimed the pinned-era
+        #: version of a line that was later rewritten.  Only possible for
+        #: sessions acquired at an explicit *historical* epoch — a
+        #: session at the current frontier is always fully servable.
+        self.stale_misses = 0
+        #: Reads of lines with no version at all as of the epoch.
+        self.cold_misses = 0
+        self.staleness_sum = 0
+        self.staleness_max = 0
+
+    def read(self, addr: int, now: int = 0) -> Optional[Tuple[int, int]]:
+        """Read ``addr`` as of this session's epoch: (data, version_epoch).
+
+        Never returns a version newer than the session epoch; a line
+        whose only surviving versions are newer yields None (counted as
+        a stale miss) rather than torn or future data.
+        """
+        if self.released:
+            raise RuntimeError(f"read on released session {self.id}")
+        cluster = self.manager.cluster
+        line = line_of(addr)
+        result = cluster.time_travel_read(line, self.epoch)
+        self.reads += 1
+        lag = cluster.rec_epoch - self.epoch
+        self.staleness_sum += lag
+        if lag > self.staleness_max:
+            self.staleness_max = lag
+        if result is not None:
+            self.hits += 1
+        else:
+            # Classify the miss: if the Master Table maps the line, its
+            # only surviving version is newer than our epoch (the
+            # pinned-era version was reclaimed) — a stale miss the serve
+            # layer reports.  Otherwise the line simply predates data.
+            if cluster.omc_of(line).master.lookup(line) is not None:
+                self.stale_misses += 1
+            else:
+                self.cold_misses += 1
+        oracle = cluster.oracle
+        if oracle is not None:
+            oid = result[1] if result is not None else None
+            oracle.on_session_read(self.id, self.epoch, line, oid, now)
+        return result
+
+    def staleness(self) -> int:
+        """Epochs the session currently lags the recoverable frontier."""
+        return self.manager.cluster.rec_epoch - self.epoch
+
+    def release(self, now: int = 0) -> None:
+        self.manager.release(self, now)
+
+    def __enter__(self) -> "SnapshotSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.released:
+            self.release()
+
+
+class SessionManager:
+    """Opens, tracks, and releases snapshot sessions against one cluster."""
+
+    def __init__(self, cluster, stats: Optional[Stats] = None) -> None:
+        self.cluster = cluster
+        self.stats = stats
+        self.active: Dict[int, SnapshotSession] = {}
+        self._next_id = 0
+        self.acquired = 0
+        self.released = 0
+        # Aggregates folded in as sessions release (and at drain time).
+        self.reads = 0
+        self.hits = 0
+        self.stale_misses = 0
+        self.cold_misses = 0
+        self.staleness_sum = 0
+        self.staleness_max = 0
+
+    def acquire(self, epoch: Optional[int] = None, now: int = 0) -> SnapshotSession:
+        """Open a session pinned at ``epoch`` (default: current frontier).
+
+        O(1): the pin is a counter bump; no snapshot state is copied.
+        Only recoverable epochs are servable — asking for one beyond the
+        frontier is a caller error, not a silent future read.
+        """
+        rec = self.cluster.rec_epoch
+        if epoch is None:
+            epoch = rec
+        elif epoch > rec:
+            raise ValueError(
+                f"cannot serve epoch {epoch}: the recoverable frontier is {rec}"
+            )
+        self.cluster.pin_epoch(epoch)
+        session = SnapshotSession(self, self._next_id, epoch, now)
+        self._next_id += 1
+        self.active[session.id] = session
+        self.acquired += 1
+        if self.stats is not None:
+            self.stats.inc("serve.sessions_acquired")
+        oracle = self.cluster.oracle
+        if oracle is not None:
+            oracle.on_session_acquire(session.id, epoch, now)
+        return session
+
+    def release(self, session: SnapshotSession, now: int = 0) -> None:
+        """Release a session's pin.  Idempotent."""
+        if session.released:
+            return
+        session.released = True
+        del self.active[session.id]
+        self.cluster.unpin_epoch(session.epoch)
+        self.released += 1
+        self._fold(session)
+        if self.stats is not None:
+            self.stats.inc("serve.sessions_released")
+        oracle = self.cluster.oracle
+        if oracle is not None:
+            oracle.on_session_release(session.id, session.epoch, now)
+
+    def release_all(self, now: int = 0) -> int:
+        """Drain every active session (end of run); returns the count."""
+        drained = list(self.active.values())
+        for session in drained:
+            self.release(session, now)
+        return len(drained)
+
+    def _fold(self, session: SnapshotSession) -> None:
+        self.reads += session.reads
+        self.hits += session.hits
+        self.stale_misses += session.stale_misses
+        self.cold_misses += session.cold_misses
+        self.staleness_sum += session.staleness_sum
+        if session.staleness_max > self.staleness_max:
+            self.staleness_max = session.staleness_max

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from .config import SystemConfig
 from .dram import DRAM
@@ -89,6 +89,11 @@ class Machine:
             [] if capture_txn_wall else None
         )
         self._global_stall_until = 0
+        #: Optional per-transaction-boundary callback ``hook(now)`` — the
+        #: snapshot-serving reader scheduler (repro.serve) interleaves
+        #: point-in-time reads through it.  Resolved to a local before
+        #: the run loop; None (the default) costs nothing.
+        self.txn_hook: Optional[Callable[[int], None]] = None
         self.scheme.attach(self)
         if oracle is not None:
             oracle.bind(self)
@@ -139,6 +144,7 @@ class Machine:
         # the oracle may run its full structural scans (epoch advances
         # fire mid-operation and are not safe scan points).
         oracle_poll = self.oracle.poll if self.oracle is not None else None
+        txn_hook = self.txn_hook
         # Batched epoch sync drains at transaction boundaries; the local
         # stays None (zero-cost) unless the config opted in.
         epoch_flush = (
@@ -189,6 +195,8 @@ class Machine:
                 poll_hook(clock)
             if oracle_poll is not None:
                 oracle_poll(clock)
+            if txn_hook is not None:
+                txn_hook(clock)
 
             clocks[tid] = clock
             transactions += 1

@@ -241,6 +241,27 @@ class TenantLoadWorkload(Workload):
                 accesses[tenant.id] += ops
                 yield batch
 
+    def read_sampler(self, seed: int):
+        """Zipf-keyed address sampler for the snapshot-serving read side.
+
+        Samples (tenant, key) from the steady-phase popularity CDFs —
+        readers chase the same hot tenants and hot keys the write side
+        skews toward — with an RNG independent of the write stream's, so
+        attaching readers never perturbs the write schedule.
+        """
+        rng = random.Random((seed << 8) ^ (self.seed << 2) ^ 0x5EED)
+        rng_random = rng.random
+        cdf = self._phases[0][1]
+        tenants = self.tenants
+        key_cdfs = self._key_cdfs
+
+        def sample() -> int:
+            tenant = tenants[bisect_left(cdf, rng_random())]
+            key_cdf = key_cdfs[tenant.klass.footprint_lines]
+            return tenant.base + bisect_left(key_cdf, rng_random()) * LINE
+
+        return sample
+
     # -- post-run attribution ---------------------------------------------
     def record_extras(self, machine) -> Dict[str, float]:
         """Per-tenant NVM attribution from the device's wear counters.

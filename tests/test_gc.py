@@ -1,6 +1,14 @@
 """Tests for garbage collection and version compaction (§V-D)."""
 
-from repro.core import OMC, OMCCluster, compact, compact_if_needed
+import pytest
+
+from repro.core import (
+    OMC,
+    OMCCluster,
+    PoolExhaustedError,
+    compact,
+    compact_if_needed,
+)
 from repro.sim import NVM, Stats, SystemConfig
 
 
@@ -59,6 +67,33 @@ class TestCompaction:
         omc = make_omc(retain_epoch_tables=True)
         fill_epochs(omc, [1])
         assert compact(omc, now=0) == 0  # retained sub-pages untouched
+        # The skips are accounted, not silent, so callers can retry.
+        assert omc.stats.get("omc0.compaction_skipped_retained") == 64
+        assert omc.stats.get("omc0.compaction_skipped_pinned") == 0
+
+    def test_pinned_skips_counted_separately(self):
+        # With a pin floor, retained epochs at/above it are "pinned by an
+        # active session" (free up on release), not merely "retained".
+        omc = make_omc(retain_epoch_tables=True)
+        fill_epochs(omc, [1])
+        assert compact(omc, now=0, pin_floor=1) == 0
+        assert omc.stats.get("omc0.compaction_skipped_pinned") == 64
+        assert omc.stats.get("omc0.compaction_skipped_retained") == 0
+
+    def test_relocated_subpages_are_not_retained(self):
+        # Regression: _relocate used to inherit SubPage's retained=True
+        # default, permanently pinning every relocated version.
+        omc = make_omc(retain_epoch_tables=True)
+        fill_epochs(omc, [1])
+        for line in range(8):
+            omc.insert_version(line, 2, 200 + line, 0)
+        omc.merge_through(2, 0)
+        omc.drop_epochs_before(2)  # epoch 1's retention released
+        moved = compact(omc, now=0)
+        assert moved > 0
+        for line in range(8, 64):
+            location = omc.master.lookup(line)
+            assert not omc.pool.subpage(location.subpage_id).retained
 
     def test_time_travel_sees_original_oid_after_compaction(self):
         omc = make_omc()
@@ -93,3 +128,72 @@ class TestQuota:
             1, 1, nvm, stats, pool_pages=1024, retain_epoch_tables=False,
         )
         assert compact_if_needed(cluster, 0) == 0
+
+    def test_quota_checked_per_relocation_not_per_epoch(self):
+        # Regression: the quota used to be checked only between epochs,
+        # so one sparse epoch spread over many pages was drained
+        # wholesale even when freeing a single page would have satisfied
+        # the target.  Now compaction stops mid-epoch at the quota.
+        omc = make_omc()
+        for page in range(8):
+            for i in range(64):
+                omc.insert_version(page * 64 + i, 1, 1000 + page * 64 + i, 0)
+        omc.merge_through(1, 0)
+        for page in range(8):
+            for i in range(56):  # rewrite 56 of 64: 8 survivors per page
+                omc.insert_version(page * 64 + i, 2, 2000 + page * 64 + i, 0)
+        omc.merge_through(2, 0)
+        before = omc.pool.pages_in_use()
+        target = before - 1
+        moved = compact(omc, now=0, target_pages=target)
+        survivors = 8 * 8
+        assert 0 < moved < survivors  # the old code moved all survivors
+        assert omc.pool.pages_in_use() <= target
+
+    def test_compact_noop_when_pool_already_fits(self):
+        omc = make_omc()
+        fill_epochs(omc, [1, 2])
+        target = omc.pool.pages_in_use() + 1
+        assert compact(omc, now=0, target_pages=target) == 0
+
+
+def exhaust_pool(pool):
+    """Burn every free page and partial-carve slot with dummy sub-pages."""
+    dummies = []
+    for size_class in (64, 16, 4):
+        while True:
+            try:
+                dummies.append(pool.alloc_subpage(size_class))
+            except PoolExhaustedError:
+                break
+    return dummies
+
+
+class TestPoolExhaustion:
+    def _sparse_omc(self, **kwargs):
+        """An OMC with one sparse old epoch worth compacting."""
+        omc = make_omc(pool_pages=32, **kwargs)
+        fill_epochs(omc, [1])
+        for line in range(32):
+            omc.insert_version(line, 2, 200 + line, 0)
+        omc.merge_through(2, 0)
+        return omc
+
+    def test_grow_recovers_mid_compaction_exhaustion(self):
+        omc = self._sparse_omc()
+        exhaust_pool(omc.pool)
+        with pytest.raises(PoolExhaustedError):
+            compact(omc, now=0)
+        omc.pool.grow(4)
+        assert compact(omc, now=0) > 0
+        # The image survived the aborted pass and the retry.
+        for line in range(32):
+            assert omc.read_master(line) == 200 + line
+        for line in range(32, 64):
+            assert omc.read_master(line) == 1000 + line
+
+    def test_os_grow_pages_absorbs_compaction_exhaustion(self):
+        omc = self._sparse_omc(os_grow_pages=4)
+        exhaust_pool(omc.pool)
+        assert compact(omc, now=0) > 0  # §V-D exception handled inline
+        assert omc.stats.get("omc0.os_grows") > 0

@@ -52,13 +52,19 @@ def failure_result():
 
 class TestRegistry:
     def test_builtin_scenarios_registered(self):
-        assert {"steady", "burst", "diurnal", "worker_failure"} <= set(
-            scenario_names()
-        )
+        assert {"steady", "burst", "diurnal", "worker_failure",
+                "timetravel"} <= set(scenario_names())
 
     def test_worker_failure_is_a_crash_scenario(self):
         assert get_scenario("worker_failure").crash
         assert not get_scenario("steady").crash
+
+    def test_timetravel_is_a_serve_scenario(self):
+        assert get_scenario("timetravel").serve
+        assert not get_scenario("burst").serve
+
+    def test_workload_style_spelling_resolves(self):
+        assert get_scenario("load_timetravel") is get_scenario("timetravel")
 
     def test_unknown_scenario_names_the_known_ones(self):
         with pytest.raises(KeyError, match="steady"):
@@ -165,6 +171,33 @@ class TestWorkerFailure:
     def test_bad_crash_fraction_rejected(self):
         with pytest.raises(ValueError, match="fraction"):
             run_scenario("steady", quick=True, crash_at=1.5)
+
+
+class TestTimetravelScenario:
+    @pytest.fixture(scope="class")
+    def timetravel_result(self):
+        return run_scenario("timetravel", quick=True, oracle=True,
+                            config=SMOKE_CONFIG)
+
+    def test_readers_served_alongside_writes(self, timetravel_result):
+        row = timetravel_result.serve_row
+        assert row is not None
+        assert row["sessions"] == 32
+        assert row["reads"] > 0
+        assert row["read_p99"] >= row["read_p50"] > 0
+
+    def test_gc_reclaims_under_session_pins(self, timetravel_result):
+        row = timetravel_result.serve_row
+        assert row["pages_reclaimed"] > 0
+        assert row["compacted"] > 0
+
+    def test_serve_row_rendered_and_dumped(self, timetravel_result):
+        assert "snapshot serving" in timetravel_result.render()
+        assert timetravel_result.to_json()["serve"]["reads"] > 0
+
+    def test_write_only_scenarios_have_no_serve_row(self, steady_result):
+        assert steady_result.serve_row is None
+        assert "snapshot serving" not in steady_result.render()
 
 
 class TestLoadCLI:

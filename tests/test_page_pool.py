@@ -83,7 +83,26 @@ class TestVersionSlots:
         assert pool.utilization() == 0.0
         for i in range(64):
             pool.write_version(subpage, i, 1, i)
+        subpage.master_refs = 64
         assert pool.utilization() == 1.0
+
+    def test_utilization_ignores_dead_slots(self):
+        """Written-but-unreferenced slots are dead space, not occupancy.
+
+        Regression test: utilization used to count every written slot
+        (``sp.used``), so a pool full of superseded versions looked 100%
+        live and compaction triggers under-estimated reclaimable space.
+        """
+        pool = make_pool()
+        subpage = pool.alloc_subpage(64)
+        for i in range(64):
+            pool.write_version(subpage, i, 1, i)
+        # Merged: every slot referenced by the Master Table.
+        subpage.master_refs = 64
+        assert pool.utilization() == 1.0
+        # 48 versions superseded by later epochs: their refs dropped.
+        subpage.master_refs = 16
+        assert pool.utilization() == 0.25
 
 
 class TestReclamation:

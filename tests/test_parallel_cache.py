@@ -24,6 +24,7 @@ from repro.harness import (
     run_one,
     simulate,
 )
+from repro.serve import ServePolicy
 from repro.sim import SystemConfig
 from repro.sim.config import BurstyEpochPolicy
 
@@ -63,6 +64,7 @@ class TestRunSpec:
         ("capture_store_log", True),
         ("crash_plan", CrashPlan(event="store", count=7)),
         ("oracle", True),
+        ("serve", ServePolicy(sessions=4)),
     ])
     def test_every_field_feeds_the_key(self, field, value):
         assert small_spec().cache_key() != small_spec(**{field: value}).cache_key()
