@@ -372,6 +372,7 @@ def _cmd_scaling(args) -> int:
             num_sockets=args.sockets,
             batch_epoch_sync=not args.no_batch,
             oracle=args.oracle,
+            sim_workers=args.sim_workers,
             jobs=args.jobs,
             cache=not args.no_cache,
             progress=_print_progress,
@@ -405,10 +406,12 @@ def _cmd_bench(args) -> int:
     from .harness import bench
 
     names = args.scenarios.split(",") if args.scenarios else None
+    calibration = bench.host_calibration()
     try:
         results = bench.run_bench(names, quick=args.quick, repeats=args.repeats,
                                   profile_frames=args.profile,
-                                  oracle=args.oracle)
+                                  oracle=args.oracle,
+                                  sim_workers=args.sim_workers)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -473,6 +476,11 @@ def _cmd_bench(args) -> int:
                     f"(threshold {args.threshold:.0%})",
                     file=sys.stderr,
                 )
+            base_cal = baseline.get("host_calibration")
+            if base_cal:
+                print(f"host calibration {calibration / base_cal:.2f}x "
+                      f"baseline — >1 means this host is slower than the "
+                      f"one that recorded the baseline", file=sys.stderr)
             status = 1
         else:
             deltas = {
@@ -483,9 +491,15 @@ def _cmd_bench(args) -> int:
                 and baseline["results"][name].get("ops_per_sec")
             }
             worst = min(deltas, key=deltas.get) if deltas else None
+            base_cal = baseline.get("host_calibration")
+            cal_note = (
+                f"; host calibration {calibration / base_cal:.2f}x baseline"
+                if base_cal else
+                f"; host calibration {calibration:.3f}s (no baseline value)"
+            )
             detail = (
                 f"worst delta {deltas[worst]:+.1%} on {worst!r}, within the "
-                f"{args.threshold:.0%} threshold" if worst is not None
+                f"{args.threshold:.0%} threshold{cal_note}" if worst is not None
                 else "no overlapping scenarios to compare"
             )
             print(
@@ -496,7 +510,8 @@ def _cmd_bench(args) -> int:
                 file=sys.stderr,
             )
     if not args.no_update:
-        bench.append_entry(path, results, label=args.label, quick=args.quick)
+        bench.append_entry(path, results, label=args.label, quick=args.quick,
+                           calibration=calibration)
         print(f"recorded entry in {path}", file=sys.stderr)
     return status
 
@@ -837,6 +852,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_scaling.add_argument("--no-batch", action="store_true",
                            help="disable batched epoch sync (per-store "
                                 "cross-VD announcements, the 16-core mode)")
+    p_scaling.add_argument("--sim-workers", type=int, default=1,
+                           help="slice-parallel engine workers per run "
+                                "(results stay bit-identical to serial; "
+                                "oracle runs force serial)")
     unified_opts(p_scaling, oracle_help="arm the protocol invariant oracle "
                                         "on every run in the sweep")
     p_scaling.set_defaults(func=_cmd_scaling)
@@ -944,6 +963,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default=BENCH_REGRESSION_THRESHOLD,
                          help="regression threshold as a fraction "
                               "(default 0.20)")
+    p_bench.add_argument("--sim-workers", type=int, default=1,
+                         help="run scenarios on the slice-parallel engine "
+                              "with N workers (fingerprints stay "
+                              "bit-identical to serial)")
     unified_opts(p_bench, oracle_help="arm the invariant oracle inside the "
                                       "timed region (measures checking "
                                       "overhead; never recorded or gated)")

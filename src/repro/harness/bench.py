@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..sim import Machine
+from ..sim import machine_for
 from ..workloads import make_workload
 from .runner import make_scheme
 from .spec import RunSpec
@@ -73,13 +73,18 @@ class BenchScenario:
     #: epoch sync (the scale-out configuration).
     cores: Optional[int] = None
 
-    def spec(self, quick: bool = False) -> RunSpec:
+    def spec(self, quick: bool = False, sim_workers: int = 1) -> RunSpec:
         scale = self.scale * (self.quick_scale if quick else 1.0)
         config = None
         if self.cores is not None:
             from ..sim import SystemConfig
 
-            config = SystemConfig.scaled(self.cores, batch_epoch_sync=True)
+            config = SystemConfig.scaled(self.cores, batch_epoch_sync=True,
+                                         sim_workers=sim_workers)
+        elif sim_workers != 1:
+            from ..sim import SystemConfig
+
+            config = SystemConfig(sim_workers=sim_workers)
         return RunSpec(workload=self.workload, scheme=self.scheme,
                        config=config, scale=scale, seed=self.seed)
 
@@ -150,8 +155,8 @@ def _build(spec: RunSpec, capture_txn_wall: bool) -> tuple:
         from ..oracle import ProtocolOracle
 
         oracle = ProtocolOracle()
-    machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
-                      capture_txn_wall=capture_txn_wall, oracle=oracle)
+    machine = machine_for(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
+                          capture_txn_wall=capture_txn_wall, oracle=oracle)
     workload = make_workload(spec.workload, num_threads=config.num_cores,
                              scale=spec.scale, seed=spec.seed)
     return machine, workload
@@ -163,6 +168,7 @@ def run_scenario(
     repeats: int = 3,
     profile_frames: int = 0,
     oracle: bool = False,
+    sim_workers: int = 1,
 ) -> BenchResult:
     """Time one scenario; the best repeat is the headline number.
 
@@ -172,9 +178,13 @@ def run_scenario(
     prints the top hot frames to stderr (never timed).  ``oracle=True``
     arms the invariant oracle inside the timed region — that measures
     the checking overhead, so armed numbers must never be committed to
-    the trajectory as if they were plain throughput.
+    the trajectory as if they were plain throughput.  (It also forces
+    ``sim_workers > 1`` runs back to the serial engine — armed parallel
+    numbers measure nothing.)  ``sim_workers`` selects the execution
+    engine; results are bit-identical across values, only wall clock
+    differs.
     """
-    spec = scenario.spec(quick).with_changes(oracle=oracle)
+    spec = scenario.spec(quick, sim_workers=sim_workers).with_changes(oracle=oracle)
     seconds: List[float] = []
     best: Optional[BenchResult] = None
     for repeat in range(max(1, repeats)):
@@ -222,6 +232,7 @@ def run_bench(
     repeats: int = 3,
     profile_frames: int = 0,
     oracle: bool = False,
+    sim_workers: int = 1,
 ) -> Dict[str, BenchResult]:
     """Run the named scenarios (default: all) and return their results."""
     selected = list(names) if names else list(SCENARIOS)
@@ -231,9 +242,44 @@ def run_bench(
         raise KeyError(f"unknown bench scenario(s) {unknown}; known: {known}")
     return {
         name: run_scenario(SCENARIOS[name], quick=quick, repeats=repeats,
-                           profile_frames=profile_frames, oracle=oracle)
+                           profile_frames=profile_frames, oracle=oracle,
+                           sim_workers=sim_workers)
         for name in selected
     }
+
+
+# --------------------------------------------------------------------------
+# Host calibration
+# --------------------------------------------------------------------------
+
+#: Hash rounds of the calibration microbenchmark.  Fixed forever: the
+#: value is only meaningful because every invocation runs the same work.
+CALIBRATION_ROUNDS = 40
+
+
+def host_calibration(rounds: int = CALIBRATION_ROUNDS) -> float:
+    """Seconds for a fixed spin+hash microbenchmark (best of 3).
+
+    Measured once per bench invocation and stored with each trajectory
+    entry so ``--check`` can attribute an apparent throughput change to
+    the host rather than the code: if this number moved by roughly the
+    same factor as the scenario, the machine (thermal state, noisy
+    neighbours, power cap) changed — not the simulator.  Pure-Python
+    integer spin plus sha256 chaining, deliberately resembling the
+    interpreter-bound profile of the simulator itself.
+    """
+    payload = b"repro-bench-calibration" * 32
+    best = float("inf")
+    for _ in range(3):
+        digest = payload
+        start = time.perf_counter()
+        for _ in range(max(1, rounds)):
+            digest = hashlib.sha256(digest).digest()
+            acc = 0
+            for i in range(2000):
+                acc = (acc * 31 + i) & 0xFFFFFFFF
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 # --------------------------------------------------------------------------
@@ -275,6 +321,7 @@ def append_entry(
     label: str,
     quick: bool,
     timestamp: Optional[str] = None,
+    calibration: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Append one measurement entry to the trajectory and rewrite it."""
     data = load_trajectory(path)
@@ -283,6 +330,9 @@ def append_entry(
         "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
         "env": env_id(),
         "quick": quick,
+        "host_calibration": (
+            round(calibration, 6) if calibration is not None else None
+        ),
         "results": {name: result.to_dict() for name, result in results.items()},
     }
     data["entries"].append(entry)
@@ -351,8 +401,8 @@ def run_fingerprint(spec: RunSpec) -> Dict[str, Any]:
         from ..oracle import ProtocolOracle
 
         oracle = ProtocolOracle()
-    machine = Machine(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
-                      oracle=oracle)
+    machine = machine_for(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
+                          oracle=oracle)
     workload = make_workload(spec.workload, num_threads=config.num_cores,
                              scale=spec.scale, seed=spec.seed)
     result = machine.run(workload)

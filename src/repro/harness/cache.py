@@ -17,13 +17,16 @@ in the cache directory accumulates lifetime totals across *all*
 processes — pool workers report their lookups back as deltas through
 ``add_counters`` and every session folds its deltas in via
 ``flush_counters``, so ``repro cache info`` sees hits that happened
-inside ``--jobs N`` workers.
+inside ``--jobs N`` workers.  The fold itself is serialized by an
+``O_CREAT | O_EXCL`` lock file — concurrent flushes are a
+read-modify-write race that would otherwise lose increments.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -44,6 +47,11 @@ def default_cache_dir() -> Path:
 
 class RunCache:
     """Spec-keyed result store with hit/miss accounting."""
+
+    #: Counter-lock acquisition: ~2 s worst case before the lock is
+    #: presumed stale (a flush holds it for well under a millisecond).
+    LOCK_RETRIES = 20
+    LOCK_RETRY_DELAY = 0.01
 
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
@@ -107,19 +115,47 @@ class RunCache:
         self._pending_misses += misses
 
     def flush_counters(self) -> None:
-        """Fold pending deltas into the on-disk lifetime totals."""
+        """Fold pending deltas into the on-disk lifetime totals.
+
+        The fold is a read-modify-write: without exclusion, two sessions
+        (or a session racing its own pool workers) can read the same
+        totals and one increment is silently lost.  A lock file taken
+        with ``O_CREAT | O_EXCL`` serializes the fold; the write itself
+        stays atomic (temp file + ``os.replace``) so readers never see a
+        torn totals file.  If the lock cannot be acquired within the
+        retry budget — e.g. a holder was killed mid-fold — the stale
+        lock is broken and the flush proceeds: lifetime counters are
+        advisory, and dropping deltas would be worse than a rare
+        double-fold."""
         if not (self._pending_hits or self._pending_misses):
             return
         self.directory.mkdir(parents=True, exist_ok=True)
-        totals = self._read_total_counters()
-        totals["hits"] += self._pending_hits
-        totals["misses"] += self._pending_misses
-        path = self.directory / COUNTERS_NAME
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(totals))
-        os.replace(tmp, path)
-        self._pending_hits = 0
-        self._pending_misses = 0
+        lock = self.directory / f"{COUNTERS_NAME}.lock"
+        fd = None
+        for attempt in range(self.LOCK_RETRIES):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                time.sleep(self.LOCK_RETRY_DELAY * (attempt + 1))
+        try:
+            totals = self._read_total_counters()
+            totals["hits"] += self._pending_hits
+            totals["misses"] += self._pending_misses
+            path = self.directory / COUNTERS_NAME
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(totals))
+            os.replace(tmp, path)
+            self._pending_hits = 0
+            self._pending_misses = 0
+        finally:
+            if fd is not None:
+                os.close(fd)
+            # Remove the lock whether we created it or broke a stale one.
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
 
     def _read_total_counters(self) -> Dict[str, int]:
         try:

@@ -30,7 +30,7 @@ from ..baselines import (
     SWUndoLogging,
 )
 from ..core import NVOverlay, NVOverlayParams
-from ..sim import Machine
+from ..sim import machine_for
 from ..sim.scheme import SnapshotScheme
 from ..workloads import make_workload
 from .spec import RunSpec
@@ -130,7 +130,7 @@ def simulate(spec: RunSpec) -> RunRecord:
         from ..oracle import ProtocolOracle
 
         oracle = ProtocolOracle()
-    machine = Machine(
+    machine = machine_for(
         config,
         scheme=scheme,
         capture_store_log=spec.capture_store_log,

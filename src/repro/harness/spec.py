@@ -50,7 +50,11 @@ from ..sim.config import (
 #: 6: ``serve`` joined the spec (snapshot-serving reader policy); serve
 #: runs interleave reader NVM traffic and GC with the write stream, so
 #: their records must never collide with write-only cells.
-CACHE_SCHEMA_VERSION = 6
+#: 7: SystemConfig grew ``sim_workers`` (parallel execution engine),
+#: which joins the canonical config dict.  Results are bit-identical
+#: across worker counts, but the engines are distinct code paths and a
+#: cached record must say which one produced it.
+CACHE_SCHEMA_VERSION = 7
 
 
 # --------------------------------------------------------------------------

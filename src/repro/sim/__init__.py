@@ -21,6 +21,7 @@ from .hierarchy import Hierarchy
 from .interconnect import Interconnect
 from .memory import MainMemory, line_base, line_of, lines_touched, page_of
 from .nvm import NVM, WRITE_CATEGORIES
+from .parallel import ParallelMachine, ShardPlan, ShardWorker, machine_for
 from .scheme import (
     EVICT_REASONS,
     REASON_CAPACITY,
@@ -54,6 +55,9 @@ __all__ = [
     "NoSnapshot",
     "PAGE_SHIFT",
     "PAGE_SIZE",
+    "ParallelMachine",
+    "ShardPlan",
+    "ShardWorker",
     "REASON_CAPACITY",
     "REASON_COHERENCE",
     "REASON_OTHER",
@@ -72,6 +76,7 @@ __all__ = [
     "WearReport",
     "WearTracker",
     "line_base",
+    "machine_for",
     "validate_hierarchy",
     "line_of",
     "lines_touched",

@@ -1,0 +1,1096 @@
+"""Slice/VD-parallel execution engine with deterministic reconciliation.
+
+``ParallelMachine`` partitions the machine by VD (and therefore by the
+LLC slices / directory shards the VD's misses resolve through) into
+``SystemConfig.sim_workers`` shards.  Each :class:`ShardWorker` produces
+its shard's per-thread access streams concurrently — process-sharded via
+``multiprocessing`` with a thread-pool fallback — and posts them as
+sequenced messages into per-shard mailboxes.  The committer then drains
+the mailboxes in a fixed *shard-then-sequence* order and executes every
+protocol transition (GETS/GETX, epoch sync, OMC min-ver reports) itself
+in the serial engine's exact min-clock heap order, so cross-VD traffic
+is reconciled deterministically and results are **bit-identical** to
+``Machine.run`` — the golden-parity fingerprints and the protocol
+fuzzer verify this in both modes.
+
+Why a single committer: three pieces of global state couple the shards
+at fine grain — the store token counter (commit order), the shared
+DRAM/NVM bank backlogs (device queueing order) and the cross-VD
+directory transitions themselves.  Running those concurrently and still
+matching the serial interleaving bit-for-bit would require replaying
+the exact global heap order anyway, so the engine keeps one committer
+and instead (a) moves stream generation off the commit path into the
+shard workers and (b) specializes the committer's inner loop: the
+hottest per-shard structures (cache-set LRU dicts, walker scan budgets,
+stats counters) are driven through flat array / local-dict layouts so
+the loop is allocation- and lookup-free, falling back to the general
+hierarchy methods for cold protocol corners.
+
+Serial execution is forced (the engine delegates to ``Machine.run``)
+when a run is observed at operation granularity: an armed protocol
+oracle, a crash-point fault injector, a snapshot-serving ``txn_hook``
+or ``capture_latency`` all pin the run to the reference engine.  See
+``docs/api.md`` ("Parallel simulation") for the determinism model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .cache import MESI, CacheLine
+from .config import CACHE_LINE_SHIFT, CACHE_LINE_SIZE, SystemConfig
+from .hierarchy import DirEntry
+from .scheme import REASON_CAPACITY, REASON_STORE_EVICT, SnapshotScheme
+from .system import Machine, RunResult
+from .trace import access_stream
+
+__all__ = ["ParallelMachine", "ShardPlan", "ShardWorker", "machine_for"]
+
+
+# --------------------------------------------------------------------------
+# Shard partitioning and stream prefetch
+# --------------------------------------------------------------------------
+
+class ShardPlan:
+    """Round-robin assignment of VDs (and their cores) to shard workers.
+
+    VD ownership is the partition NVOverlay's own design argues for:
+    a VD's L1/L2 state is private, and its misses resolve through
+    address-interleaved LLC slices whose directory shards are already
+    independent (PR 5).  Worker count is capped at the VD count — more
+    workers than VDs would own nothing.
+    """
+
+    def __init__(self, config: SystemConfig, num_workers: int) -> None:
+        self.num_workers = max(1, min(num_workers, config.num_vds))
+        self.shard_of_vd: List[int] = [
+            vd % self.num_workers for vd in range(config.num_vds)
+        ]
+        self.shard_of_core: List[int] = [
+            self.shard_of_vd[core // config.cores_per_vd]
+            for core in range(config.num_cores)
+        ]
+
+    def threads_of_shard(self, shard_id: int, num_threads: int) -> List[int]:
+        return [
+            tid for tid in range(num_threads)
+            if self.shard_of_core[tid] == shard_id
+        ]
+
+
+class ShardWorker:
+    """One shard's stream producer.
+
+    Generates the access streams of the shard's threads and returns them
+    as ``(shard, seq, tid, batches)`` mailbox messages.  ``seq`` is the
+    thread's fixed position within the shard, so the committer can drain
+    mailboxes in shard-then-sequence order no matter which worker
+    finished first.
+    """
+
+    def __init__(self, shard_id: int, tids: List[int]) -> None:
+        self.shard_id = shard_id
+        self.tids = tids
+
+    def generate(self, workload) -> List[Tuple[int, int, int, list]]:
+        shard_id = self.shard_id
+        return [
+            (shard_id, seq, tid, list(access_stream(workload, tid)))
+            for seq, tid in enumerate(self.tids)
+        ]
+
+
+def _shard_generate(args) -> List[Tuple[int, int, int, list]]:
+    """Process-pool entry point: rebuild the worker and generate."""
+    workload, shard_id, tids = args
+    return ShardWorker(shard_id, tids).generate(workload)
+
+
+def prefetch_streams(
+    workload, plan: ShardPlan, backend: str = "auto"
+) -> Tuple[Dict[int, list], str]:
+    """Materialize per-thread streams through the shard workers.
+
+    Only legal for ``workload.stream_stable`` workloads (the caller
+    checks): stable streams are pure functions of the construction
+    arguments, so shard workers may generate them out of order — or in
+    another process entirely — without changing their contents.
+
+    Returns ``(streams, backend_used)``.  ``auto`` picks processes on
+    multi-core hosts and threads otherwise (a single CPU gains nothing
+    from fork + pickle overhead).  Either way the mailbox drain order is
+    fixed, so the assembled streams are identical across backends.
+    """
+    num_threads = workload.num_threads
+    work = [
+        (workload, shard, plan.threads_of_shard(shard, num_threads))
+        for shard in range(plan.num_workers)
+    ]
+    work = [item for item in work if item[2]]
+    if backend == "auto":
+        backend = "process" if (os.cpu_count() or 1) > 1 else "thread"
+    used = backend
+    if backend == "process" and len(work) > 1:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ctx.Pool(processes=len(work)) as pool:
+                results = pool.map(_shard_generate, work)
+        except Exception:
+            # Unpicklable workload, sandboxed platform, ...: the thread
+            # backend produces the same messages.
+            used = "thread"
+            results = _thread_generate(work)
+    elif backend == "thread" and len(work) > 1:
+        results = _thread_generate(work)
+    else:
+        used = "inline"
+        results = [_shard_generate(item) for item in work]
+
+    # Per-shard mailboxes, drained in shard-then-sequence order: the
+    # assembly is deterministic regardless of worker completion order.
+    mailboxes: Dict[int, List[Tuple[int, int, int, list]]] = {}
+    for messages in results:
+        for message in messages:
+            mailboxes.setdefault(message[0], []).append(message)
+    streams: Dict[int, list] = {}
+    for shard_id in sorted(mailboxes):
+        for _, _, tid, batches in sorted(
+            mailboxes[shard_id], key=lambda m: m[1]
+        ):
+            streams[tid] = batches
+    return streams, used
+
+
+def _thread_generate(work) -> List[List[Tuple[int, int, int, list]]]:
+    with ThreadPoolExecutor(max_workers=len(work)) as pool:
+        return list(pool.map(_shard_generate, work))
+
+
+# --------------------------------------------------------------------------
+# The parallel machine
+# --------------------------------------------------------------------------
+
+class ParallelMachine(Machine):
+    """``Machine`` with the shard-worker front end and fused committer.
+
+    Construction is identical to :class:`Machine`; the engine engages in
+    :meth:`run` when ``config.sim_workers > 1`` and no serial-forcing
+    observer is attached.  ``parallel_engaged`` / ``fused_access`` /
+    ``prefetch_backend_used`` record what actually ran (for tests and
+    the bench harness); none of them affect simulated state.
+    """
+
+    def __init__(self, *args, backend: str = "auto", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.backend = backend
+        self.plan = ShardPlan(self.config, self.config.sim_workers)
+        self.parallel_engaged = False
+        self.fused_access = False
+        self.prefetch_backend_used: Optional[str] = None
+
+    # -- mode selection --------------------------------------------------
+    def _serial_forced(self) -> bool:
+        return (
+            self.oracle is not None
+            or self.fault_injector is not None
+            or self.txn_hook is not None
+            or self.capture_latency
+            or self.config.sim_workers <= 1
+        )
+
+    def _fused_eligible(self) -> bool:
+        """Whether the specialized allocation-free access path applies.
+
+        The fused path hand-inlines the single-socket MESI/directory
+        protocol with the version-access extension and NVOverlay's
+        walker loop.  Anything outside that envelope — MOESI, snoop
+        transport, multi-socket hops, finite directories, NVM working
+        memory, scheme hooks on the store path — falls back to the
+        general hierarchy methods (still under the shard front end).
+        """
+        config = self.config
+        h = self.hierarchy
+        if not h.versioned or h.moesi or h.snoop or h.working_nvm:
+            return False
+        if config.num_sockets != 1:
+            return False
+        if config.directory_entries_per_slice is not None:
+            return False
+        if (
+            h._scheme_on_store is not None
+            or h._scheme_on_l2_dirty_eviction is not None
+            or h._scheme_on_llc_dirty_eviction is not None
+        ):
+            return False
+        from ..core.nvoverlay import NVOverlay
+        from ..core.tag_walker import TagWalker
+
+        scheme = self.scheme
+        if not isinstance(scheme, NVOverlay):
+            return False
+        if type(scheme).poll is not NVOverlay.poll:
+            return False
+        if (
+            type(scheme).on_transaction_boundary
+            is not SnapshotScheme.on_transaction_boundary
+        ):
+            return False
+        if any(type(w) is not TagWalker for w in scheme.walkers):
+            return False
+        return True
+
+    # -- execution -------------------------------------------------------
+    def run(self, workload, max_transactions: Optional[int] = None) -> RunResult:
+        if self._serial_forced():
+            self.parallel_engaged = False
+            self.fused_access = False
+            return super().run(workload, max_transactions)
+        num_threads = workload.num_threads
+        if num_threads > self.config.num_cores:
+            raise ValueError(
+                f"workload has {num_threads} threads but the machine only "
+                f"has {self.config.num_cores} cores"
+            )
+        self.parallel_engaged = True
+        streams = self._assemble_streams(workload)
+        self.fused_access = self._fused_eligible()
+        if self.fused_access:
+            return self._run_fused(workload, streams, max_transactions)
+        return self._run_general(workload, streams, max_transactions)
+
+    def _assemble_streams(self, workload) -> Dict[int, Iterator]:
+        """Per-thread streams, prefetched through shard workers when legal."""
+        if getattr(workload, "stream_stable", False):
+            batches, used = prefetch_streams(workload, self.plan, self.backend)
+            self.prefetch_backend_used = used
+            return {tid: iter(batches[tid]) for tid in sorted(batches)}
+        # Lazy shared-structure workloads must generate in commit order.
+        self.prefetch_backend_used = None
+        return {
+            tid: access_stream(workload, tid)
+            for tid in range(workload.num_threads)
+        }
+
+    # ------------------------------------------------------------------
+    # General committer: the serial loop over prefetched streams
+    # ------------------------------------------------------------------
+    def _run_general(
+        self, workload, streams, max_transactions: Optional[int]
+    ) -> RunResult:
+        num_threads = workload.num_threads
+        clocks = {tid: 0 for tid in range(num_threads)}
+        ready = [(0, tid) for tid in range(num_threads)]
+        heapq.heapify(ready)
+
+        transactions = 0
+        hierarchy = self.hierarchy
+        scheme = self.scheme
+        execute_access = hierarchy.execute_access
+        epoch_due = hierarchy.epoch_due
+        vd_of_core = hierarchy.vd_of_core
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        boundary_hook = scheme.on_transaction_boundary
+        if getattr(boundary_hook, "__func__", None) is SnapshotScheme.on_transaction_boundary:
+            boundary_hook = None
+        poll_hook = scheme.poll
+        if getattr(poll_hook, "__func__", None) is SnapshotScheme.poll:
+            poll_hook = None
+        epoch_flush = (
+            hierarchy.flush_epoch_sync
+            if hierarchy._epoch_batcher is not None
+            else None
+        )
+        txn_wall = self.txn_wall_samples
+        perf_counter = time.perf_counter
+        while ready:
+            clock, tid = heappop(ready)
+            vd = vd_of_core(tid)
+            clock = max(clock, self._global_stall_until, vd.stall_until)
+
+            try:
+                txn = next(streams[tid])
+            except StopIteration:
+                clocks[tid] = clock
+                continue
+
+            if epoch_due(vd):
+                clock += hierarchy.advance_epoch(vd, vd.cur_epoch + 1, clock)
+            elif epoch_flush is not None:
+                clock += epoch_flush(vd, clock)
+            if boundary_hook is not None:
+                clock += boundary_hook(tid, clock)
+            if txn_wall is not None:
+                wall_start = perf_counter()
+            for addr, size, is_store in txn:
+                clock += execute_access(tid, addr, size, is_store, clock)
+            if txn_wall is not None:
+                txn_wall.append(perf_counter() - wall_start)
+            if poll_hook is not None:
+                poll_hook(clock)
+
+            clocks[tid] = clock
+            transactions += 1
+            if max_transactions is not None and transactions >= max_transactions:
+                break
+            heappush(ready, (clock, tid))
+
+        end = max(clocks.values(), default=0)
+        end = max(end, self._global_stall_until)
+        scheme.finalize(end)
+        return RunResult(
+            cycles=end,
+            transactions=transactions,
+            stores=self.stats.get("stores"),
+            stats=self.stats,
+            per_thread_cycles=dict(clocks),
+        )
+
+    # ------------------------------------------------------------------
+    # Fused committer: specialized single-socket MESI/CST inner loop
+    # ------------------------------------------------------------------
+    def _run_fused(
+        self, workload, streams, max_transactions: Optional[int]
+    ) -> RunResult:
+        """The serial engine's exact transition sequence, hand-inlined.
+
+        Every counter bumped inline lands in a local dict flushed into
+        ``Stats`` once at the end — legal because fingerprints hash the
+        *final* sorted counter values, never intermediate ones.  Cold
+        protocol corners (remote-owner transfers, sharer invalidations,
+        epoch advances, multi-epoch walker scans) delegate to the
+        existing hierarchy methods, which keep using ``Stats`` directly;
+        the two accounting paths only ever add, so the totals agree with
+        serial execution exactly.
+        """
+        config = self.config
+        h = self.hierarchy
+        scheme = self.scheme
+        stats = self.stats
+
+        # -- hoisted structure handles (no semantics, locals only) -----
+        l1_sets = [l1._sets for l1 in h.l1s]
+        l1_num_sets = h._l1_num_sets
+        l1_ways = config.l1_geometry.ways
+        vds = h.vds
+        vd_l2_sets = [vd.l2._sets for vd in vds]
+        l2_num_sets = h._l2_num_sets
+        l2_ways = config.l2_geometry.ways
+        llc_sets = [array._sets for array in h.llc]
+        llc_num_sets = h.llc[0]._num_sets
+        llc_ways = config.llc_geometry.ways
+        num_slices = h._num_slices
+        dir_shards = h._dir_shards
+        core_vd = h._core_vd
+        vd_l1_sets = h._vd_l1_sets
+        mem_lines = h._mem_lines
+        l1_latency = h._l1_latency
+        l2_latency = h._l2_latency
+        llc_latency = h._llc_latency
+        hop = h.net.hop
+        # DRAM backlog model, inlined: the per-controller drain/queue
+        # arithmetic below mirrors DRAM.access exactly, mutating the
+        # device's own lists so cold paths interleave consistently.
+        dram_backlog = h.dram._backlog
+        dram_last = h.dram._last
+        dram_nctrl = h.dram.num_controllers
+        dram_latency = h.dram.latency
+        dram_occ = h.dram.OCCUPANCY
+        line_bytes = CACHE_LINE_SIZE
+        on_version_writeback = scheme.on_version_writeback
+        on_version_migrate = scheme.on_version_migrate
+        batcher = h._epoch_batcher
+        batcher_base = batcher._base if batcher is not None else None
+        epoch_policy_fixed = config.epoch_policy is None
+        vd_epoch_size = config.vd_epoch_size_at(0)
+        token = h._token
+        store_log = h.store_log
+        M, E, S, I_STATE, O = MESI.M, MESI.E, MESI.S, MESI.I, MESI.O
+
+        dir_key = h._llc_dir_access_key
+        fill_key = h._llc_fill_key
+        hit_key = h._llc_hit_key
+        miss_key = h._llc_miss_key
+        k_capacity = h._evict_reason_key[REASON_CAPACITY]
+        k_store_evict = h._evict_reason_key[REASON_STORE_EVICT]
+
+        # -- flat local counter accumulation ---------------------------
+        c: Dict[str, int] = dict.fromkeys(
+            (
+                "l1.accesses", "l1.load_hits", "l1.load_misses",
+                "l1.store_hits", "l1.store_misses", "l1.store_upgrades",
+                "l1.dirty_evictions", "l1.evictions",
+                "l2.accesses", "l2.hits", "l2.misses",
+                "l2.dirty_evictions", "l2.evictions",
+                "llc.dirty_evictions", "llc.evictions",
+                "stores", "cst.store_evictions", "cst.version_writebacks",
+                "net.omc_msgs", "net.vd_llc_msgs", "net.forwarded_msgs",
+                "net.c2c_msgs",
+                "dram.reads", "dram.read_bytes",
+                "dram.writes", "dram.write_bytes",
+                "walker.sets_scanned", "walker.tags_scanned",
+                "walker.passes",
+                k_capacity, k_store_evict,
+            ),
+            0,
+        )
+        for keys in (dir_key, fill_key, hit_key, miss_key):
+            for key in keys:
+                c[key] = 0
+
+        # -- fused protocol transitions (mirror hierarchy.py exactly) --
+        # The former llc_insert / install_l2 / inter_gets / inter_getx
+        # helpers are hand-inlined into evict_l2_entry and vd_fill below:
+        # on the dominant miss chain every call frame showed up in the
+        # profile, and inlining also lets the chain reuse the directory
+        # entry and L2 set it already fetched (the serial code holds the
+        # same references across these steps, so reuse is bit-identical).
+        def l2_putx(vd, line, data, oid, now):
+            cache_set = vd_l2_sets[vd.id][line % l2_num_sets]
+            entry = cache_set.get(line)
+            assert entry is not None, "inclusion violated: L1 write-back missed in L2"
+            del cache_set[line]
+            cache_set[line] = entry
+            if entry.state >= M and entry.oid < oid:
+                # Version write-back to the OMC (latency discarded here,
+                # exactly as the unfused PUTX rule discards it).
+                c["net.omc_msgs"] += 1
+                c["cst.version_writebacks"] += 1
+                c[k_store_evict] += 1
+                on_version_writeback(
+                    vd.id, line, entry.oid, entry.data, REASON_STORE_EVICT, now
+                )
+                current = mem_lines.get(line)
+                if current is None or entry.oid >= current[1]:
+                    mem_lines[line] = (entry.data, entry.oid)
+            entry.data = data
+            entry.oid = oid
+            entry.state = M
+
+        def evict_l2_entry(vd, entry, now):
+            # REASON_CAPACITY only; other reasons stay on the cold paths.
+            line = entry.line
+            latency = 0
+            l1_index = line % l1_num_sets
+            for sets in vd_l1_sets[vd.id]:
+                peer_set = sets[l1_index]
+                peer = peer_set.get(line)
+                if peer is None:
+                    continue
+                if peer.state >= M:
+                    l2_putx(vd, line, peer.data, peer.oid, now)
+                del peer_set[line]
+            l2_set = vd_l2_sets[vd.id][line % l2_num_sets]
+            entry = l2_set.get(line)
+            assert entry is not None
+            dirty = entry.state >= M
+            if dirty:
+                c["l2.dirty_evictions"] += 1
+                # Version write-back to the OMC; this caller keeps the
+                # latency and the line lands dirty in the LLC.
+                c["net.omc_msgs"] += 1
+                c["cst.version_writebacks"] += 1
+                c[k_capacity] += 1
+                latency += hop
+                latency += on_version_writeback(
+                    vd.id, line, entry.oid, entry.data, REASON_CAPACITY, now
+                )
+                current = mem_lines.get(line)
+                if current is None or entry.oid >= current[1]:
+                    mem_lines[line] = (entry.data, entry.oid)
+            # LLC insert (former llc_insert), at ``now``.
+            slice_id = line % num_slices
+            latency += llc_latency
+            c[fill_key[slice_id]] += 1
+            llc_set = llc_sets[slice_id][line % llc_num_sets]
+            existing = llc_set.get(line)
+            if existing is not None:
+                dirty = dirty or existing.state >= M
+            elif len(llc_set) >= llc_ways:
+                # Victim eviction (_evict_llc_victim): a dirty victim
+                # posts a DRAM write-back — queued, latency discarded —
+                # and settles into working memory.
+                victim = llc_set[next(iter(llc_set))]
+                vline = victim.line
+                if victim.state >= M:
+                    c["llc.dirty_evictions"] += 1
+                    ctrl = (vline ^ (vline >> 4) ^ (vline >> 9)) % dram_nctrl
+                    last = dram_last[ctrl]
+                    if now > last:
+                        drained = dram_backlog[ctrl] - (now - last)
+                        dram_backlog[ctrl] = drained if drained > 0 else 0
+                        dram_last[ctrl] = now
+                    dram_backlog[ctrl] += dram_occ
+                    c["dram.writes"] += 1
+                    c["dram.write_bytes"] += line_bytes
+                    current = mem_lines.get(vline)
+                    if current is None or victim.oid >= current[1]:
+                        mem_lines[vline] = (victim.data, victim.oid)
+                del llc_set[vline]
+                c["llc.evictions"] += 1
+                vshard = dir_shards[slice_id]
+                ventry = vshard.get(vline)
+                if ventry is not None and ventry.owner is None and not ventry.sharers:
+                    del vshard[vline]
+            llc_set.pop(line, None)
+            llc_set[line] = CacheLine(line, M if dirty else S, entry.oid, entry.data)
+            del l2_set[line]
+            c["l2.evictions"] += 1
+            shard = dir_shards[slice_id]
+            dentry = shard.get(line)
+            if dentry is not None:
+                dentry.sharers.discard(vd.id)
+                if dentry.owner == vd.id:
+                    dentry.owner = None
+                if (
+                    dentry.owner is None
+                    and not dentry.sharers
+                    and line not in llc_set
+                ):
+                    del shard[line]
+            return latency
+
+        def vd_fill(vd, core_id, line, for_store, now):
+            latency = l2_latency
+            c["l2.accesses"] += 1
+            vd_id = vd.id
+            l2_cache_set = vd_l2_sets[vd_id][line % l2_num_sets]
+            l2_entry = l2_cache_set.get(line)
+            if l2_entry is not None:
+                del l2_cache_set[line]
+                l2_cache_set[line] = l2_entry
+            slice_id = line % num_slices
+            shard = dir_shards[slice_id]
+            dentry = shard.get(line)
+            vd_owns = dentry is not None and dentry.owner == vd_id
+            vd_shares = dentry is not None and vd_id in dentry.sharers
+
+            if l2_entry is not None and (vd_owns or vd_shares):
+                c["l2.hits"] += 1
+                l1_index = line % l1_num_sets
+                peer = None
+                for core in vd.core_ids:
+                    if core == core_id:
+                        continue
+                    entry = l1_sets[core][l1_index].get(line)
+                    if entry is not None and entry.state >= M:
+                        peer = core
+                        break
+                if peer is not None:
+                    latency += h._recall_l1_copy(
+                        vd, peer, line, invalidate=for_store, now=now + latency
+                    )
+                    l2_entry = l2_cache_set.get(line)
+                    assert l2_entry is not None
+                    del l2_cache_set[line]  # lookup(touch=True)
+                    l2_cache_set[line] = l2_entry
+                if for_store:
+                    other_sharers = (
+                        bool(dentry.sharers - {vd_id}) if dentry is not None else False
+                    )
+                    if not vd_owns or other_sharers:
+                        owner = dentry.owner if dentry is not None else None
+                        if owner is not None and owner != vd_id:
+                            latency += h._getx_from_remote_owner(
+                                vd, core_id, line, now + latency
+                            )
+                            l2_entry = l2_cache_set.get(line)
+                            assert l2_entry is not None
+                        else:
+                            latency += h._inter_getx_permission_only(
+                                vd, line, now + latency
+                            )
+                    for core in vd.core_ids:
+                        if core == core_id:
+                            continue
+                        peer_set = l1_sets[core][l1_index]
+                        entry = peer_set.get(line)
+                        if entry is None:
+                            continue
+                        if entry.state >= M:
+                            l2_putx(vd, line, entry.data, entry.oid, now + latency)
+                        del peer_set[line]
+                    state = E
+                else:
+                    exclusive = vd_owns and l2_entry.state != O
+                    if exclusive:
+                        for core in vd.core_ids:
+                            if core == core_id:
+                                continue
+                            entry = l1_sets[core][l1_index].get(line)
+                            if entry is not None and entry.state:
+                                exclusive = False
+                                break
+                    state = E if exclusive else S
+                return latency, l2_entry.data, l2_entry.oid, state
+
+            c["l2.misses"] += 1
+            # Former inter_gets / inter_getx, inlined.  ``rnow`` is the
+            # request submission time, ``nl`` the accumulated network
+            # latency; absolute event times are ``rnow + nl`` exactly as
+            # in the helper versions.  The directory entry fetched at the
+            # top is reused — nothing between the fetch and here touches
+            # this line's entry (the VD-side calls operate on *other*
+            # VDs' caches and the victim lines differ by construction).
+            rnow = now + latency
+            c["net.vd_llc_msgs"] += 1
+            nl = hop + llc_latency
+            c[dir_key[slice_id]] += 1
+            if dentry is None:
+                dentry = DirEntry()
+                shard[line] = dentry
+            if for_store:
+                data = None
+                oid = 0
+                dirty = False
+                owner_id = dentry.owner
+                if owner_id is not None and owner_id != vd_id:
+                    owner = vds[owner_id]
+                    c["net.forwarded_msgs"] += 1
+                    nl += 2 * hop
+                    transfer = h._invalidate_owner_for_getx(owner, line, rnow + nl)
+                    if transfer is not None:
+                        data, oid, dirty = transfer
+                        c["net.c2c_msgs"] += 1
+                        nl += hop
+                        if dirty:
+                            on_version_migrate(owner_id, vd_id, line, oid, rnow)
+                        llc_sets[slice_id][line % llc_num_sets].pop(line, None)
+                if dentry.sharers:
+                    for sharer_id in sorted(dentry.sharers - {vd_id}):
+                        nl += h._invalidate_vd(vds[sharer_id], line, rnow + nl)
+                if data is None:
+                    llc_set = llc_sets[slice_id][line % llc_num_sets]
+                    llc_entry = llc_set.get(line)
+                    if llc_entry is not None:
+                        del llc_set[line]
+                        llc_set[line] = llc_entry
+                        c[hit_key[slice_id]] += 1
+                        data, oid = llc_entry.data, llc_entry.oid
+                        if llc_entry.state >= M:
+                            # Posted DRAM write-back: queued, latency
+                            # discarded.
+                            t = rnow + nl
+                            ctrl = (line ^ (line >> 4) ^ (line >> 9)) % dram_nctrl
+                            last = dram_last[ctrl]
+                            if t > last:
+                                drained = dram_backlog[ctrl] - (t - last)
+                                dram_backlog[ctrl] = drained if drained > 0 else 0
+                                dram_last[ctrl] = t
+                            dram_backlog[ctrl] += dram_occ
+                            c["dram.writes"] += 1
+                            c["dram.write_bytes"] += line_bytes
+                            current = mem_lines.get(line)
+                            if current is None or llc_entry.oid >= current[1]:
+                                mem_lines[line] = (llc_entry.data, llc_entry.oid)
+                        del llc_set[line]
+                        mem_data, mem_oid = mem_lines.get(line, (0, 0))
+                        if mem_oid > oid:
+                            data, oid = mem_data, mem_oid
+                    else:
+                        c[miss_key[slice_id]] += 1
+                        data, oid = mem_lines.get(line, (0, 0))
+                        t = rnow + nl
+                        ctrl = (line ^ (line >> 4) ^ (line >> 9)) % dram_nctrl
+                        last = dram_last[ctrl]
+                        if t > last:
+                            drained = dram_backlog[ctrl] - (t - last)
+                            dram_backlog[ctrl] = drained if drained > 0 else 0
+                            dram_last[ctrl] = t
+                        nl += dram_backlog[ctrl] + dram_latency
+                        dram_backlog[ctrl] += dram_occ
+                        c["dram.reads"] += 1
+                        c["dram.read_bytes"] += line_bytes
+                dentry.owner = vd_id
+                dentry.sharers.clear()
+                state = E
+                istate = M if dirty else E
+            else:
+                dirty = False
+                owner_id = dentry.owner
+                if owner_id is not None and owner_id != vd_id:
+                    owner = vds[owner_id]
+                    c["net.forwarded_msgs"] += 1
+                    nl += 2 * hop
+                    data, oid = h._downgrade_owner(owner, line, rnow + nl)
+                    # MESI only: the owner always drops to the sharer set.
+                    dentry.sharers.add(owner_id)
+                    dentry.owner = None
+                    dentry.sharers.add(vd_id)
+                else:
+                    llc_set = llc_sets[slice_id][line % llc_num_sets]
+                    llc_entry = llc_set.get(line)
+                    if llc_entry is not None:
+                        del llc_set[line]
+                        llc_set[line] = llc_entry
+                        c[hit_key[slice_id]] += 1
+                        if (
+                            dentry.owner is None
+                            and not dentry.sharers
+                            and not llc_entry.state >= M
+                        ):
+                            dentry.owner = vd_id
+                        else:
+                            dentry.sharers.add(vd_id)
+                        data, oid = llc_entry.data, llc_entry.oid
+                        mem_data, mem_oid = mem_lines.get(line, (0, 0))
+                        if mem_oid > oid:
+                            data, oid = mem_data, mem_oid
+                    else:
+                        c[miss_key[slice_id]] += 1
+                        data, oid = mem_lines.get(line, (0, 0))
+                        t = rnow + nl
+                        ctrl = (line ^ (line >> 4) ^ (line >> 9)) % dram_nctrl
+                        last = dram_last[ctrl]
+                        if t > last:
+                            drained = dram_backlog[ctrl] - (t - last)
+                            dram_backlog[ctrl] = drained if drained > 0 else 0
+                            dram_last[ctrl] = t
+                        nl += dram_backlog[ctrl] + dram_latency
+                        dram_backlog[ctrl] += dram_occ
+                        c["dram.reads"] += 1
+                        c["dram.read_bytes"] += line_bytes
+                        if dentry.owner is None and not dentry.sharers:
+                            dentry.owner = vd_id
+                        else:
+                            dentry.sharers.add(vd_id)
+                state = E if dentry.owner == vd_id else S
+                istate = state
+            latency += nl
+            if oid > vd.cur_epoch:
+                latency += h._epoch_sync(vd, oid, now + latency)
+            # Former install_l2, inlined.  ``l2_entry`` doubles as the
+            # ``existing`` lookup (same object, argued above); a capacity
+            # victim is evicted at the install submission time ``inow``.
+            inow = now + latency
+            if l2_entry is None and len(l2_cache_set) >= l2_ways:
+                victim = l2_cache_set[next(iter(l2_cache_set))]
+                latency += evict_l2_entry(vd, victim, inow)
+            if l2_entry is not None and l2_entry.state >= M:
+                if l2_entry.oid < oid:
+                    # Version write-back (latency discarded, as in the
+                    # unfused install path).
+                    c["net.omc_msgs"] += 1
+                    c["cst.version_writebacks"] += 1
+                    c[k_store_evict] += 1
+                    on_version_writeback(
+                        vd_id, line, l2_entry.oid, l2_entry.data,
+                        REASON_STORE_EVICT, inow,
+                    )
+                    current = mem_lines.get(line)
+                    if current is None or l2_entry.oid >= current[1]:
+                        mem_lines[line] = (l2_entry.data, l2_entry.oid)
+                    l2_entry.data, l2_entry.oid = data, oid
+                    if dirty:
+                        l2_entry.state = M
+            else:
+                l2_cache_set.pop(line, None)
+                l2_cache_set[line] = CacheLine(line, istate, oid, data)
+            return latency, data, oid, state
+
+        def fused_store(core_id, line, now):
+            # commit_store and l1_install are hand-inlined here: at ~one
+            # store per four accesses they sit on the critical path, and
+            # the call frames alone were measurable.
+            nonlocal token
+            cache_set = l1_sets[core_id][line % l1_num_sets]
+            entry = cache_set.get(line)
+            vd = core_vd[core_id]
+            if entry is not None and entry.state >= E:
+                del cache_set[line]
+                cache_set[line] = entry
+                c["l1.accesses"] += 1
+                c["l1.store_hits"] += 1
+                latency = l1_latency
+            else:
+                latency = l1_latency
+                c["l1.accesses"] += 1
+                if entry is None or entry.state == I_STATE:
+                    c["l1.store_misses"] += 1
+                    fill_latency, data, oid, _state = vd_fill(
+                        vd, core_id, line, True, now + latency
+                    )
+                    latency += fill_latency
+                    # L1 install (store fills arrive Exclusive).
+                    t = now + latency
+                    if line not in cache_set and len(cache_set) >= l1_ways:
+                        victim = cache_set[next(iter(cache_set))]
+                        if victim.state >= M:
+                            c["l1.dirty_evictions"] += 1
+                            l2_putx(vd, victim.line, victim.data, victim.oid, t)
+                        del cache_set[victim.line]
+                        c["l1.evictions"] += 1
+                        # Recycle the evicted CacheLine object: nothing
+                        # outside this set holds a reference to it.
+                        victim.line = line
+                        victim.state = E
+                        victim.oid = oid
+                        victim.data = data
+                        entry = victim
+                    else:
+                        cache_set.pop(line, None)
+                        entry = CacheLine(line, E, oid, data)
+                    cache_set[line] = entry
+                else:  # MESI.S
+                    del cache_set[line]
+                    cache_set[line] = entry
+                    c["l1.store_upgrades"] += 1
+                    latency += h._upgrade_for_store(vd, core_id, line, now + latency)
+                    entry = cache_set.get(line)
+                    assert entry is not None
+                    del cache_set[line]  # lookup(touch=True)
+                    cache_set[line] = entry
+            # -- commit_store --
+            epoch = vd.cur_epoch
+            if entry.oid != epoch and entry.state >= M:
+                assert entry.oid < epoch, "version from the future survived sync"
+                c["cst.store_evictions"] += 1
+                l2_putx(vd, entry.line, entry.data, entry.oid, now + latency)
+            token += 1
+            entry.data = token
+            entry.oid = epoch
+            entry.state = M
+            vd.store_count += 1
+            vd.total_stores += 1
+            c["stores"] += 1
+            if store_log is not None:
+                store_log.append((entry.line, epoch, token, vd.id, core_id))
+            return latency
+
+        def fused_load(core_id, line, now):
+            cache_set = l1_sets[core_id][line % l1_num_sets]
+            entry = cache_set.get(line)
+            if entry is not None and entry.state:
+                del cache_set[line]
+                cache_set[line] = entry
+                c["l1.accesses"] += 1
+                c["l1.load_hits"] += 1
+                return l1_latency
+            c["l1.accesses"] += 1
+            c["l1.load_misses"] += 1
+            latency = l1_latency
+            vd = core_vd[core_id]
+            fill_latency, data, oid, state = vd_fill(
+                vd, core_id, line, False, now + latency
+            )
+            latency += fill_latency
+            # L1 install, inlined (see fused_store).
+            t = now + latency
+            if line not in cache_set and len(cache_set) >= l1_ways:
+                victim = cache_set[next(iter(cache_set))]
+                if victim.state >= M:
+                    c["l1.dirty_evictions"] += 1
+                    l2_putx(vd, victim.line, victim.data, victim.oid, t)
+                del cache_set[victim.line]
+                c["l1.evictions"] += 1
+                victim.line = line
+                victim.state = state
+                victim.oid = oid
+                victim.data = data
+                cache_set[line] = victim
+            else:
+                cache_set.pop(line, None)
+                cache_set[line] = CacheLine(line, state, oid, data)
+            return latency
+
+        # -- fused walker poll (flat per-walker arrays) ----------------
+        walkers = [w for w in scheme.walkers if w.enabled]
+        cluster = scheme.cluster
+        min_ver_seq = cluster.min_ver_seq
+        update_min_ver = cluster.update_min_ver
+        min_dirty_oid = h.min_dirty_oid
+        cold_scan = h.walker_scan_set
+        # Mutable per-walker state rides in one list per walker
+        # ([last_poll, budget, cursor, pass_seq, passes]); the constants
+        # ride in a parallel tuple.  One zip per poll beats a dozen
+        # ``array[i]`` index operations per walker per transaction.
+        w_state = [
+            [w._last_poll, w._budget, w._cursor, w._pass_seq, w.passes_completed]
+            for w in walkers
+        ]
+        w_const = [
+            (w.vd, w.vd.id, w.rate, w._l2_ways, w._l2_num_sets, w._budget_cap,
+             vd_l2_sets[w.vd.id])
+            for w in walkers
+        ]
+        w_pairs = list(zip(w_state, w_const))
+
+        def fused_poll(now):
+            for st, const in w_pairs:
+                last = st[0]
+                if now <= last:
+                    continue
+                st[0] = now
+                vd, vd_id, rate, ways, num_sets, cap, l2_sets = const
+                budget = st[1] + (now - last) * rate / 1000.0
+                max_sets = int(budget // ways)
+                if max_sets > num_sets:
+                    max_sets = num_sets
+                if max_sets:
+                    cursor = st[2]
+                    if vd.cur_epoch == 1:
+                        # While the VD is still in epoch 1 no dirty line
+                        # can predate the epoch (OIDs start at 1), so a
+                        # scan is pure accounting: the set bump, plus the
+                        # tag bump for non-empty sets — exactly
+                        # walker_scan_set's early path.  The epoch can't
+                        # advance mid-poll (update_min_ver never touches
+                        # cur_epoch), so the branch hoists out of the
+                        # per-set loop and the tag counts batch up in
+                        # chunked sums.  Repeated ``budget -= ways`` is
+                        # exact float arithmetic (integer subtrahend, the
+                        # fractional bits stay representable), so the
+                        # single fused subtraction is bit-identical.
+                        budget -= max_sets * ways
+                        tags_n = 0
+                        remaining = max_sets
+                        while remaining:
+                            if cursor == 0:
+                                st[3] = min_ver_seq(vd_id)
+                            chunk = num_sets - cursor
+                            if chunk > remaining:
+                                chunk = remaining
+                            tags_n += sum(map(len, l2_sets[cursor:cursor + chunk]))
+                            cursor += chunk
+                            remaining -= chunk
+                            if cursor >= num_sets:
+                                cursor = 0
+                                st[4] += 1
+                                update_min_ver(vd_id, 1, now, seq=st[3])
+                                c["walker.passes"] += 1
+                        c["walker.sets_scanned"] += max_sets
+                        c["walker.tags_scanned"] += tags_n
+                    else:
+                        for _ in range(max_sets):
+                            budget -= ways
+                            if cursor == 0:
+                                st[3] = min_ver_seq(vd_id)
+                            cold_scan(vd, cursor, now)
+                            cursor += 1
+                            if cursor >= num_sets:
+                                cursor = 0
+                                st[4] += 1
+                                update_min_ver(
+                                    vd_id, min_dirty_oid(vd), now, seq=st[3]
+                                )
+                                c["walker.passes"] += 1
+                    st[2] = cursor
+                if budget > cap:
+                    budget = cap
+                st[1] = budget
+
+        # -- the committer loop (Machine.run's exact order) ------------
+        num_threads = workload.num_threads
+        clocks = {tid: 0 for tid in range(num_threads)}
+        ready = [(0, tid) for tid in range(num_threads)]
+        heapq.heapify(ready)
+        transactions = 0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        txn_wall = self.txn_wall_samples
+        perf_counter = time.perf_counter
+        advance_epoch = h.advance_epoch
+        flush_epoch_sync = h.flush_epoch_sync
+        epoch_due_general = h.epoch_due
+
+        while ready:
+            clock, tid = heappop(ready)
+            vd = core_vd[tid]
+            stall = self._global_stall_until
+            if stall > clock:
+                clock = stall
+            stall = vd.stall_until
+            if stall > clock:
+                clock = stall
+
+            try:
+                txn = next(streams[tid])
+            except StopIteration:
+                clocks[tid] = clock
+                continue
+
+            if (
+                vd.store_count >= vd_epoch_size
+                if epoch_policy_fixed
+                else epoch_due_general(vd)
+            ):
+                clock += advance_epoch(vd, vd.cur_epoch + 1, clock)
+            elif batcher_base is not None and batcher_base[vd.id] is not None:
+                clock += flush_epoch_sync(vd, clock)
+            if txn_wall is not None:
+                wall_start = perf_counter()
+            for addr, size, is_store in txn:
+                first = addr >> CACHE_LINE_SHIFT
+                last = (addr + size - 1) >> CACHE_LINE_SHIFT
+                if is_store:
+                    if first == last:
+                        clock += fused_store(tid, first, clock)
+                    else:
+                        total = 0
+                        for line in range(first, last + 1):
+                            total += fused_store(tid, line, clock + total)
+                        clock += total
+                elif first == last:
+                    clock += fused_load(tid, first, clock)
+                else:
+                    total = 0
+                    for line in range(first, last + 1):
+                        total += fused_load(tid, line, clock + total)
+                    clock += total
+            if txn_wall is not None:
+                txn_wall.append(perf_counter() - wall_start)
+            fused_poll(clock)
+
+            clocks[tid] = clock
+            transactions += 1
+            if max_transactions is not None and transactions >= max_transactions:
+                break
+            heappush(ready, (clock, tid))
+
+        # -- reconcile flat state back into the canonical structures ---
+        h._token = token
+        for walker, st in zip(walkers, w_state):
+            walker._last_poll = st[0]
+            walker._budget = st[1]
+            walker._cursor = st[2]
+            walker._pass_seq = st[3]
+            walker.passes_completed = st[4]
+        inc = stats.inc
+        for key, value in c.items():
+            if value:
+                inc(key, value)
+
+        end = max(clocks.values(), default=0)
+        end = max(end, self._global_stall_until)
+        scheme.finalize(end)
+        return RunResult(
+            cycles=end,
+            transactions=transactions,
+            stores=stats.get("stores"),
+            stats=stats,
+            per_thread_cycles=dict(clocks),
+        )
+
+
+def machine_for(
+    config: Optional[SystemConfig] = None, scheme=None, **kwargs
+) -> Machine:
+    """Build the right engine for ``config.sim_workers``.
+
+    The single harness dispatch point: ``sim_workers == 1`` (or no
+    config) returns the reference ``Machine``; anything larger returns
+    a :class:`ParallelMachine` (which still forces itself serial when
+    an operation-granularity observer is attached).
+    """
+    resolved = config if config is not None else SystemConfig()
+    if resolved.sim_workers > 1:
+        return ParallelMachine(resolved, scheme, **kwargs)
+    return Machine(resolved, scheme, **kwargs)

@@ -218,3 +218,125 @@ class TestSenseController:
                 return  # skew bound would trip; not this test's concern
             sense.on_vd_advance(vd, epochs[vd])
         assert sense.flips == max(epochs.values()) // space.half
+
+
+class TestEpochSyncBatcherUnit:
+    def test_single_batch_per_span(self):
+        from repro.core.epoch import EpochSyncBatcher
+
+        batcher = EpochSyncBatcher(num_vds=2)
+        assert not batcher.any_pending()
+        assert batcher.note_advance(0, old_epoch=3)      # opens the batch
+        assert not batcher.note_advance(0, old_epoch=4)  # coalesced
+        assert batcher.pending(0) and not batcher.pending(1)
+        assert batcher.take(0) == 3  # base = epoch before the first sync
+        assert batcher.take(0) is None
+        assert not batcher.any_pending()
+
+
+class TestEpochSyncBatcherMultiSocket:
+    """End-to-end batching across multi-socket geometries (2 and 4
+    sockets, batched vs unbatched).
+
+    Batching legitimately *moves* the announcement stalls to transaction
+    boundaries, so batched and unbatched runs are distinct timings (the
+    golden-parity fixture pins them separately); what must agree are the
+    interleaving-invariant outcomes — total committed stores, per-line
+    writer histograms, uncontested final writers — and each run's final
+    image must equal its own store-log replay.  Sync-batch counters must
+    show the coalescing actually happened.  On top of that, each mode
+    must be bit-identical between the serial and slice-parallel engines.
+    """
+
+    #: (num_cores, num_sockets): one dual- and one quad-socket mesh.
+    SOCKET_GEOMETRIES = [(16, 2), (32, 4)]
+
+    @staticmethod
+    def _run(config, workload):
+        from repro.harness.runner import make_scheme
+        from repro.sim import Machine
+
+        machine = Machine(
+            config, scheme=make_scheme("nvoverlay"), capture_store_log=True
+        )
+        result = machine.run(workload)
+        return machine, result
+
+    @staticmethod
+    def _frozen(cores):
+        from repro.oracle.differential import freeze_workload
+        from repro.workloads import make_workload
+
+        return freeze_workload(
+            make_workload("uniform", num_threads=cores, scale=0.05, seed=9)
+        )
+
+    @pytest.mark.parametrize("cores,sockets", SOCKET_GEOMETRIES)
+    def test_batched_counters_and_outcome_identity(self, cores, sockets):
+        from repro.core.snapshot import golden_image
+        from repro.oracle.differential import compare_outcomes, summarize_log
+        from repro.sim import SystemConfig
+
+        frozen = self._frozen(cores)
+        outcomes = []
+        for batch in (False, True):
+            # Tiny epochs: VDs advance at different rates, so shared
+            # lines carry newer RVs and force coherence-driven syncs.
+            config = SystemConfig.scaled(
+                cores, num_sockets=sockets, batch_epoch_sync=batch,
+                epoch_size_stores=40,
+            )
+            machine, _ = self._run(config, frozen)
+            stats = machine.stats
+            syncs = stats.get("epoch.coherence_syncs")
+            batches = stats.get("epoch.sync_batches")
+            assert syncs > 0, "workload produced no coherence-driven syncs"
+            if batch:
+                # Every batch covers >= 1 sync; coalescing means strictly
+                # fewer announcements than syncs on this sharing level.
+                assert 0 < batches <= syncs
+            else:
+                assert batches == 0
+            log = machine.hierarchy.store_log
+            image = machine.hierarchy.memory_image()
+            golden = golden_image(log, float("inf"))
+            torn = [l for l, t in golden.items() if image.get(l) != t]
+            assert not torn, (
+                f"{sockets}-socket batch={batch}: image disagrees with "
+                f"its own store log on {len(torn)} line(s)"
+            )
+            outcomes.append(summarize_log(f"batch={batch}", log))
+        mismatches = compare_outcomes(outcomes)
+        assert not mismatches, (
+            f"{sockets}-socket batched vs unbatched disagree:\n"
+            + "\n".join(f"  - {m}" for m in mismatches)
+        )
+
+    @pytest.mark.parametrize("cores,sockets", SOCKET_GEOMETRIES)
+    @pytest.mark.parametrize("batch", [False, True], ids=["unbatched", "batched"])
+    def test_each_mode_bit_identical_under_parallel_engine(
+        self, cores, sockets, batch
+    ):
+        import dataclasses
+
+        from repro.harness.runner import make_scheme
+        from repro.sim import SystemConfig
+        from repro.sim.parallel import ParallelMachine
+
+        frozen = self._frozen(cores)
+        config = SystemConfig.scaled(
+            cores, num_sockets=sockets, batch_epoch_sync=batch,
+            epoch_size_stores=40,
+        )
+        serial, serial_result = self._run(config, frozen)
+        parallel = ParallelMachine(
+            dataclasses.replace(config, sim_workers=2),
+            scheme=make_scheme("nvoverlay"),
+            capture_store_log=True,
+        )
+        parallel_result = parallel.run(frozen)
+        assert parallel.parallel_engaged
+        assert parallel_result.cycles == serial_result.cycles
+        assert parallel_result.per_thread_cycles == serial_result.per_thread_cycles
+        assert parallel.stats.counters() == serial.stats.counters()
+        assert parallel.hierarchy.memory_image() == serial.hierarchy.memory_image()

@@ -236,6 +236,72 @@ class TestCrossProcessCounters:
         assert RunCache(tmp_path).info()["total_misses"] == 0
 
 
+def _flush_worker(args):
+    directory, flushes = args
+    cache = RunCache(directory)
+    for _ in range(flushes):
+        cache.add_counters(hits=1, misses=2)
+        cache.flush_counters()
+
+
+class TestCounterFlushRace:
+    """``flush_counters`` is a read-modify-write on ``.counters.json``:
+    without the ``O_CREAT | O_EXCL`` lock serializing the fold, two
+    concurrent flushers read the same totals and one delta is silently
+    lost.  The concurrent test reproduced exactly that before the lock
+    landed (lost increments on most runs)."""
+
+    def test_concurrent_flushes_lose_no_deltas(self, tmp_path):
+        import multiprocessing
+
+        workers, flushes = 8, 5
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ctx.Pool(processes=workers) as pool:
+            pool.map(_flush_worker, [(str(tmp_path), flushes)] * workers)
+        info = RunCache(tmp_path).info()
+        assert info["total_hits"] == workers * flushes
+        assert info["total_misses"] == 2 * workers * flushes
+
+    def test_lock_is_released_after_flush(self, tmp_path):
+        cache = RunCache(tmp_path)
+        cache.add_counters(hits=1)
+        cache.flush_counters()
+        assert not (tmp_path / ".counters.json.lock").exists()
+        assert RunCache(tmp_path).info()["total_hits"] == 1
+
+    def test_stale_lock_is_broken_not_fatal(self, tmp_path, monkeypatch):
+        """A lock left behind by a killed process must not wedge every
+        future flush: after the retry budget the flush proceeds (and
+        cleans the stale lock up)."""
+        monkeypatch.setattr(RunCache, "LOCK_RETRIES", 3)
+        monkeypatch.setattr(RunCache, "LOCK_RETRY_DELAY", 0.001)
+        tmp_path.mkdir(exist_ok=True)
+        stale = tmp_path / ".counters.json.lock"
+        stale.touch()
+        cache = RunCache(tmp_path)
+        cache.add_counters(hits=4, misses=1)
+        cache.flush_counters()
+        assert not stale.exists()
+        info = RunCache(tmp_path).info()
+        assert info["total_hits"] == 4 and info["total_misses"] == 1
+
+    def test_flush_is_atomic_write_rename(self, tmp_path):
+        """No partially written totals file is ever left in place."""
+        cache = RunCache(tmp_path)
+        cache.add_counters(misses=7)
+        cache.flush_counters()
+        leftovers = [
+            p for p in tmp_path.iterdir() if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+        assert json.loads(
+            (tmp_path / ".counters.json").read_text()
+        ) == {"hits": 0, "misses": 7}
+
+
 class TestParallelRunner:
     GRID = [
         RunSpec(workload=w, scheme=s, config=SMALL, scale=TINY_SCALE)

@@ -1,0 +1,224 @@
+"""The slice-parallel execution engine (``repro.sim.parallel``).
+
+Determinism is the whole contract: every mode of the engine — fused
+committer, general committer, any prefetch backend — must reproduce the
+serial ``Machine`` bit-for-bit.  These tests cover the dispatch and
+partitioning machinery plus targeted parity runs for each fallback path;
+the heavyweight bit-identity sweep lives in ``test_golden_parity.py``
+(all cells × serial/workers2) and the fuzzer's parallel variant.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.oracle.invariants import ProtocolOracle
+from repro.sim import Machine, SystemConfig, machine_for
+from repro.sim.parallel import ParallelMachine, ShardPlan, prefetch_streams
+from repro.harness.runner import make_scheme
+from repro.workloads import make_workload
+
+SCALE = 0.05
+
+
+def _machine(scheme="nvoverlay", config=None, parallel=True, **kwargs):
+    config = config or SystemConfig()
+    if parallel and config.sim_workers == 1:
+        config = dataclasses.replace(config, sim_workers=2)
+    cls = ParallelMachine if parallel else Machine
+    return cls(config, scheme=make_scheme(scheme), **kwargs)
+
+
+def _workload(name="uniform", cores=16, seed=5):
+    return make_workload(name, num_threads=cores, scale=SCALE, seed=seed)
+
+
+def _fingerprint(machine, result):
+    return (
+        result.cycles,
+        result.stores,
+        result.transactions,
+        result.per_thread_cycles,
+        machine.stats.counters(),
+        machine.hierarchy.memory_image(),
+    )
+
+
+def _assert_parity(scheme="nvoverlay", config=None, workload="uniform", **kwargs):
+    """One serial + one parallel run must produce identical fingerprints."""
+    base = config or SystemConfig()
+    cores = base.num_cores
+    serial = Machine(base, scheme=make_scheme(scheme))
+    serial_result = serial.run(_workload(workload, cores))
+    par = _machine(scheme, config=base, **kwargs)
+    par_result = par.run(_workload(workload, cores))
+    assert _fingerprint(par, par_result) == _fingerprint(serial, serial_result)
+    return par
+
+
+# -- dispatch ----------------------------------------------------------------
+
+def test_machine_for_dispatches_on_sim_workers():
+    assert type(machine_for(SystemConfig())) is Machine
+    assert type(machine_for(SystemConfig(sim_workers=1))) is Machine
+    parallel = machine_for(SystemConfig(sim_workers=4))
+    assert type(parallel) is ParallelMachine
+    assert parallel.plan.num_workers >= 2
+
+
+def test_sim_workers_must_be_positive():
+    with pytest.raises(ValueError, match="sim_workers"):
+        SystemConfig(sim_workers=0)
+
+
+# -- shard partitioning ------------------------------------------------------
+
+def test_shard_plan_partitions_vds_round_robin():
+    config = SystemConfig()  # 16 cores, 8 VDs
+    plan = ShardPlan(config, 3)
+    assert plan.num_workers == 3
+    assert plan.shard_of_vd == [vd % 3 for vd in range(config.num_vds)]
+    # Cores follow their VD's shard.
+    for core in range(config.num_cores):
+        vd = core // config.cores_per_vd
+        assert plan.shard_of_core[core] == plan.shard_of_vd[vd]
+    # threads_of_shard is a disjoint cover of all thread ids.
+    covered = [
+        tid for shard in range(plan.num_workers)
+        for tid in plan.threads_of_shard(shard, config.num_cores)
+    ]
+    assert sorted(covered) == list(range(config.num_cores))
+    assert len(covered) == len(set(covered))
+
+
+def test_shard_plan_caps_workers_at_vd_count():
+    config = SystemConfig()  # 8 VDs
+    assert ShardPlan(config, 64).num_workers == config.num_vds
+    assert ShardPlan(config, 0).num_workers == 1
+
+
+# -- prefetch mailboxes ------------------------------------------------------
+
+def test_prefetch_backends_assemble_identical_streams():
+    """Thread, process and inline backends must agree batch-for-batch:
+    the mailbox drain order is fixed regardless of completion order."""
+    config = SystemConfig()
+    workload = _workload()
+    plan = ShardPlan(config, 4)
+    inline_plan = ShardPlan(config, 1)
+    by_backend = {}
+    by_backend["thread"] = prefetch_streams(workload, plan, "thread")
+    by_backend["process"] = prefetch_streams(workload, plan, "process")
+    by_backend["inline"] = prefetch_streams(workload, inline_plan, "thread")
+    streams, used = by_backend["thread"]
+    assert used == "thread"
+    assert sorted(streams) == list(range(config.num_cores))
+    assert by_backend["inline"][1] == "inline"
+    # The process pool may legitimately fall back to threads on
+    # constrained hosts; the streams must be identical either way.
+    assert by_backend["process"][1] in ("process", "thread")
+    for key, (other, _) in by_backend.items():
+        assert other == streams, f"{key} backend diverged from thread"
+
+
+def test_prefetched_streams_match_direct_generation():
+    from repro.sim.trace import access_stream
+
+    config = SystemConfig()
+    workload = _workload(seed=11)
+    streams, _ = prefetch_streams(workload, ShardPlan(config, 4), "thread")
+    for tid in range(config.num_cores):
+        direct = list(access_stream(_workload(seed=11), tid))
+        assert streams[tid] == direct
+
+
+# -- forced-serial observers -------------------------------------------------
+
+def test_oracle_forces_serial_engine():
+    machine = _machine(oracle=ProtocolOracle(), capture_store_log=True)
+    machine.run(_workload())
+    assert not machine.parallel_engaged
+    assert not machine.fused_access
+    assert machine.prefetch_backend_used is None
+
+
+def test_capture_latency_forces_serial_engine():
+    machine = _machine(capture_latency=True)
+    machine.run(_workload())
+    assert not machine.parallel_engaged
+    assert machine.stats.percentile("op_latency", 0.5) >= 0
+
+
+def test_single_worker_config_forces_serial_engine():
+    machine = ParallelMachine(SystemConfig(), scheme=make_scheme("nvoverlay"))
+    machine.run(_workload())
+    assert not machine.parallel_engaged
+
+
+# -- parity: fused committer -------------------------------------------------
+
+def test_fused_committer_matches_serial_bit_for_bit():
+    machine = _assert_parity()
+    assert machine.parallel_engaged
+    assert machine.fused_access
+    assert machine.prefetch_backend_used in ("process", "thread", "inline")
+
+
+def test_fused_committer_matches_serial_with_max_transactions():
+    config = SystemConfig(sim_workers=2)
+    serial = Machine(SystemConfig(), scheme=make_scheme("nvoverlay"))
+    serial_result = serial.run(_workload(), max_transactions=40)
+    par = ParallelMachine(config, scheme=make_scheme("nvoverlay"))
+    par_result = par.run(_workload(), max_transactions=40)
+    assert par.parallel_engaged
+    assert par_result.transactions == serial_result.transactions == 40
+    assert _fingerprint(par, par_result) == _fingerprint(serial, serial_result)
+
+
+def test_lazy_workload_runs_unprefetched_but_identical():
+    """Shared-structure workloads are not stream-stable: the engine must
+    generate their streams in commit order (no prefetch), yet still
+    reproduce serial results exactly."""
+    workload = make_workload("btree", num_threads=16, scale=SCALE, seed=5)
+    assert not workload.stream_stable
+    machine = _assert_parity(workload="btree")
+    assert machine.parallel_engaged
+    assert machine.prefetch_backend_used is None
+
+
+# -- parity: general committer fallbacks -------------------------------------
+
+def test_non_nvoverlay_scheme_uses_general_committer():
+    machine = _assert_parity(scheme="picl")
+    assert machine.parallel_engaged
+    assert not machine.fused_access
+
+
+def test_multi_socket_geometry_uses_general_committer():
+    config = SystemConfig.scaled(8, cores_per_vd=4, num_sockets=2)
+    config = dataclasses.replace(config, sim_workers=2)
+    machine = _assert_parity(config=config)
+    assert machine.parallel_engaged
+    assert not machine.fused_access
+
+
+def test_moesi_protocol_uses_general_committer():
+    config = SystemConfig(coherence_protocol="moesi", sim_workers=2)
+    machine = _assert_parity(config=config)
+    assert machine.parallel_engaged
+    assert not machine.fused_access
+
+
+def test_batched_epoch_sync_parity_at_64_cores():
+    """The scale-out geometry the speedup target is measured on."""
+    config = SystemConfig.scaled(64, batch_epoch_sync=True)
+    config = dataclasses.replace(config, sim_workers=4)
+    machine = _assert_parity(config=config)
+    assert machine.parallel_engaged
+    assert machine.fused_access
+
+
+def test_thread_overflow_rejected():
+    machine = _machine()
+    with pytest.raises(ValueError, match="threads"):
+        machine.run(_workload(cores=32))
