@@ -442,16 +442,40 @@ def _cmd_bench(args) -> int:
 
     if args.oracle:
         # Armed numbers measure checking overhead, not simulator speed;
-        # never let them into the trajectory or gate against it.
+        # never let them into the trajectory, a profile, or the gate.
+        if args.profile_out:
+            print("note: --profile-out skipped (oracle-armed numbers are "
+                  "checker overhead, not throughput)", file=sys.stderr)
         return 0
+    commit = bench.current_commit()
+    if args.profile_out:
+        # Persist the full per-repeat distribution no matter what
+        # --no-update says: an A/B investigation must keep its raw data.
+        bench.write_profile(Path(args.profile_out), results,
+                            label=args.label, quick=args.quick,
+                            calibration=calibration, commit=commit)
+        print(f"profile written to {args.profile_out}", file=sys.stderr)
     path = (Path(args.trajectory) if args.trajectory
             else bench.default_trajectory_path())
     baseline = bench.baseline_entry(bench.load_trajectory(path),
                                     quick=args.quick)
     status = 0
     if args.check:
-        failures = bench.check_regression(results, baseline,
-                                          threshold=args.threshold)
+        detectors = args.detectors.split(",") if args.detectors else None
+        try:
+            bench.resolve_detectors(detectors)  # validate names up front
+            checks = bench.check_results(
+                results, baseline, calibration=calibration,
+                detectors=detectors, threshold=args.threshold)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        base_cal = baseline.get("host_calibration") if baseline else None
+        cal_note = (
+            f"host calibration {calibration / base_cal:.2f}x baseline"
+            if base_cal else
+            f"host calibration {calibration:.3f}s (no baseline value)"
+        )
         if baseline is None:
             if args.allow_missing_baseline:
                 print(f"regression gate: skipped (no baseline for env "
@@ -467,53 +491,96 @@ def _cmd_bench(args) -> int:
                     file=sys.stderr,
                 )
                 status = 1
-        elif failures:
+        else:
+            failures = [n for n, c in checks.items() if c.regressed]
+            fallbacks = [n for n, c in checks.items() if c.fallback]
             for name in failures:
-                base = baseline["results"][name]["ops_per_sec"]
+                outcome = checks[name]
                 print(
-                    f"REGRESSION {name}: {results[name].ops_per_sec:,.0f} "
-                    f"ops/s vs baseline {base:,.0f} "
-                    f"(threshold {args.threshold:.0%})",
+                    f"REGRESSION {name}: median "
+                    f"{outcome.median_ratio:.2f}x baseline "
+                    f"({outcome.detail})",
                     file=sys.stderr,
                 )
-            base_cal = baseline.get("host_calibration")
-            if base_cal:
-                print(f"host calibration {calibration / base_cal:.2f}x "
-                      f"baseline — >1 means this host is slower than the "
-                      f"one that recorded the baseline", file=sys.stderr)
-            status = 1
-        else:
-            deltas = {
-                name: results[name].ops_per_sec
-                / baseline["results"][name]["ops_per_sec"] - 1.0
-                for name in results
-                if name in baseline.get("results", {})
-                and baseline["results"][name].get("ops_per_sec")
-            }
-            worst = min(deltas, key=deltas.get) if deltas else None
-            base_cal = baseline.get("host_calibration")
-            cal_note = (
-                f"; host calibration {calibration / base_cal:.2f}x baseline"
-                if base_cal else
-                f"; host calibration {calibration:.3f}s (no baseline value)"
-            )
-            detail = (
-                f"worst delta {deltas[worst]:+.1%} on {worst!r}, within the "
-                f"{args.threshold:.0%} threshold{cal_note}" if worst is not None
-                else "no overlapping scenarios to compare"
-            )
-            print(
-                f"regression gate: OK vs {baseline['label']!r} ({detail}).\n"
-                f"Committed numbers carry host noise; for a real verdict on "
-                f"a perf-sensitive change, run the paired host A/B protocol "
-                f"(EXPERIMENTS.md, 'Simulator throughput').",
-                file=sys.stderr,
-            )
+                for verdict in outcome.verdicts:
+                    print(f"  {verdict.detector}: {verdict.detail}",
+                          file=sys.stderr)
+            if failures:
+                print(f"{cal_note} — the detectors already normalized by "
+                      f"this, so the drop is not host speed",
+                      file=sys.stderr)
+                status = 1
+            else:
+                worst = min(checks, key=lambda n: checks[n].median_ratio) \
+                    if checks else None
+                detail = (
+                    f"worst median ratio {checks[worst].median_ratio:.2f}x "
+                    f"on {worst!r}; {cal_note}" if worst is not None
+                    else "no overlapping scenarios to compare"
+                )
+                print(
+                    f"regression gate: OK vs {baseline['label']!r} "
+                    f"({detail}).",
+                    file=sys.stderr,
+                )
+                if fallbacks:
+                    print(
+                        f"note: {len(fallbacks)} scenario(s) judged by the "
+                        f"legacy {args.threshold:.0%} threshold — too few "
+                        f"stored samples for the statistical detectors; "
+                        f"re-record the baseline with --repeats >= 5.",
+                        file=sys.stderr,
+                    )
+                print(
+                    f"A flagged drop can be attributed with "
+                    f"`repro bench bisect --scenario NAME` "
+                    f"(docs/api.md, 'Simulator throughput').",
+                    file=sys.stderr,
+                )
     if not args.no_update:
         bench.append_entry(path, results, label=args.label, quick=args.quick,
-                           calibration=calibration)
+                           calibration=calibration, commit=commit)
         print(f"recorded entry in {path}", file=sys.stderr)
     return status
+
+
+def _cmd_bench_bisect(args) -> int:
+    from pathlib import Path
+
+    from .harness import bench
+
+    path = (Path(args.trajectory) if args.trajectory
+            else bench.default_trajectory_path())
+    data = bench.load_trajectory(path)
+    env = args.env or bench.env_id()
+    detectors = args.detectors.split(",") if args.detectors else None
+    quick = None if args.any_mode else bool(args.quick)
+    recollect = None
+    if args.recollect:
+        recollect = bench.bisect.make_git_recollect_hook(
+            quick=bool(args.quick), repeats=args.recollect_repeats)
+    try:
+        report_obj = bench.bisect_trajectory(
+            data, args.scenario, env=env, quick=quick,
+            detectors=detectors, threshold=args.threshold,
+            recollect=recollect)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        _emit_json(report_obj.to_dict())
+    else:
+        print(f"bisect {args.scenario!r} over env {env!r} in {path}")
+        for step in report_obj.steps:
+            mark = "BAD " if step.regressed else "good"
+            ref = step.commit or step.label
+            print(f"  probe entry {step.index:3d} [{mark}] {ref} "
+                  f"(median {step.check.median_ratio:.3f}x, "
+                  f"{step.check.detail})")
+        print(f"verdict: {report_obj.status} — {report_obj.detail}")
+    if report_obj.status == "insufficient":
+        return 1
+    return 0
 
 
 def _cmd_load(args) -> int:
@@ -967,10 +1034,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run scenarios on the slice-parallel engine "
                               "with N workers (fingerprints stay "
                               "bit-identical to serial)")
+    p_bench.add_argument("--detectors", default=None, metavar="NAMES",
+                         help="comma-separated detector subset for --check "
+                              "(default: all registered; see "
+                              "repro.harness.bench.check.DETECTORS)")
+    p_bench.add_argument("--profile-out", default=None, metavar="PATH",
+                         help="also write this run's full per-repeat sample "
+                              "profile (schema-v2 document) to PATH — even "
+                              "with --no-update, so A/B investigations keep "
+                              "their raw data")
     unified_opts(p_bench, oracle_help="arm the invariant oracle inside the "
                                       "timed region (measures checking "
                                       "overhead; never recorded or gated)")
     p_bench.set_defaults(func=_cmd_bench)
+
+    bench_sub = p_bench.add_subparsers(dest="bench_cmd", metavar="subcommand")
+    p_bisect = bench_sub.add_parser(
+        "bisect",
+        help="attribute a flagged regression to the narrowest entry/commit "
+             "range in the trajectory",
+    )
+    p_bisect.add_argument("--scenario", required=True,
+                          help="bench scenario name to bisect")
+    p_bisect.add_argument("--env", default=None,
+                          help="environment id to walk (default: this "
+                               "host's; entries never compare across envs)")
+    p_bisect.add_argument("--quick", action="store_true",
+                          help="walk quick-mode entries (default: full-mode; "
+                               "the two are never comparable)")
+    p_bisect.add_argument("--any-mode", action="store_true",
+                          help="ignore the quick flag when selecting entries")
+    p_bisect.add_argument("--trajectory", default=None, metavar="PATH",
+                          help="trajectory or profile file (default: "
+                               "repo-root BENCH_sim_throughput.json)")
+    p_bisect.add_argument("--detectors", default=None, metavar="NAMES",
+                          help="comma-separated detector subset")
+    p_bisect.add_argument("--threshold", type=float,
+                          default=BENCH_REGRESSION_THRESHOLD,
+                          help="legacy fallback threshold for sample-starved "
+                               "entries (default 0.20)")
+    p_bisect.add_argument("--recollect", action="store_true",
+                          help="re-collect samples at entries' recorded "
+                               "commits via git worktrees when an entry "
+                               "lacks them (slow; needs a clean git repo)")
+    p_bisect.add_argument("--recollect-repeats", type=int, default=5,
+                          help="repeats per re-collected entry "
+                               "(default 5, enough for the detectors)")
+    p_bisect.add_argument("--json", action="store_true",
+                          help="emit the machine-readable BisectReport")
+    p_bisect.set_defaults(func=_cmd_bench_bisect)
 
     return parser
 

@@ -1,0 +1,135 @@
+"""Simulator-throughput benchmarking: collect / store / check / bisect.
+
+The value of this reproduction is *experiments per hour*: every figure,
+sweep and crash-sweep funnels through the per-memory-op loop in
+``repro.sim.hierarchy``, so simulator throughput — not the harness —
+bounds cold-cache wall clock.  This package measures it, records it,
+and guards it, as four pluggable stages:
+
+* :mod:`.collect` — run the timed scenarios (:data:`SCENARIOS`) and
+  record **all** repeat samples plus the host-calibration
+  microbenchmark, not just best-of-N; also the golden-parity
+  :func:`run_fingerprint`.
+* :mod:`.store` — versioned per-scenario profiles in
+  ``BENCH_sim_throughput.json`` (schema v2: sample distributions per
+  entry; v1 scalar entries migrate losslessly on load) plus standalone
+  ``--profile-out`` documents.
+* :mod:`.check` — a registry of pure, stdlib-only statistical
+  detectors (Mann-Whitney U rank test, seeded bootstrap CI on the
+  median ratio) that normalize by the host-calibration ratio before
+  judging; the legacy scalar threshold survives as the fallback for
+  sample-starved entries.
+* :mod:`.bisect` — ``repro bench bisect``: walk the recorded entries
+  (optionally re-collecting through a pluggable hook) to attribute a
+  regression to the narrowest entry/commit range.
+
+``ops`` counts line-granular memory operations executed by the
+hierarchy (the ``l1.accesses`` counter), and the timed region includes
+lazy trace generation — that is the real cost of an experiment.
+
+Everything importable from the old ``repro.harness.bench`` module is
+re-exported here unchanged.
+"""
+
+from . import bisect, check, collect, store
+from .bisect import (
+    BisectReport,
+    BisectStep,
+    bisect_trajectory,
+    make_git_recollect_hook,
+)
+from .check import (
+    ALPHA,
+    BOOTSTRAP_CONFIDENCE,
+    BOOTSTRAP_RESAMPLES,
+    BOOTSTRAP_SEED,
+    DETECTORS,
+    MIN_EFFECT,
+    REGRESSION_THRESHOLD,
+    Detector,
+    DetectorVerdict,
+    ScenarioCheck,
+    calibration_ratio,
+    check_entry_pair,
+    check_regression,
+    check_results,
+    compare_samples,
+    detector_names,
+    normalize_samples,
+    register_detector,
+    resolve_detectors,
+)
+from .collect import (
+    CALIBRATION_ROUNDS,
+    SCENARIOS,
+    BenchResult,
+    BenchScenario,
+    host_calibration,
+    run_bench,
+    run_fingerprint,
+    run_scenario,
+)
+from .store import (
+    TRAJECTORY_FILENAME,
+    TRAJECTORY_SCHEMA,
+    append_entry,
+    baseline_entry,
+    current_commit,
+    default_trajectory_path,
+    entry_samples,
+    env_id,
+    load_trajectory,
+    make_entry,
+    migrate_trajectory,
+    write_profile,
+)
+
+__all__ = [
+    "ALPHA",
+    "BOOTSTRAP_CONFIDENCE",
+    "BOOTSTRAP_RESAMPLES",
+    "BOOTSTRAP_SEED",
+    "BenchResult",
+    "BenchScenario",
+    "BisectReport",
+    "BisectStep",
+    "CALIBRATION_ROUNDS",
+    "DETECTORS",
+    "Detector",
+    "DetectorVerdict",
+    "MIN_EFFECT",
+    "REGRESSION_THRESHOLD",
+    "SCENARIOS",
+    "ScenarioCheck",
+    "TRAJECTORY_FILENAME",
+    "TRAJECTORY_SCHEMA",
+    "append_entry",
+    "baseline_entry",
+    "bisect",
+    "bisect_trajectory",
+    "calibration_ratio",
+    "check",
+    "check_entry_pair",
+    "check_regression",
+    "check_results",
+    "collect",
+    "compare_samples",
+    "current_commit",
+    "default_trajectory_path",
+    "detector_names",
+    "entry_samples",
+    "env_id",
+    "host_calibration",
+    "load_trajectory",
+    "make_entry",
+    "make_git_recollect_hook",
+    "migrate_trajectory",
+    "normalize_samples",
+    "register_detector",
+    "resolve_detectors",
+    "run_bench",
+    "run_fingerprint",
+    "run_scenario",
+    "store",
+    "write_profile",
+]

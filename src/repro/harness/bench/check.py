@@ -1,0 +1,433 @@
+"""Check stage: statistical regression detectors over stored profiles.
+
+The paper reports distributions, not scalars, for its overhead
+comparisons — the bench gate should too.  Host noise makes raw
+best-of-N thresholds unreliable (the 64-core trajectory entry needed a
+manual paired A/B protocol), so verdicts here come from a registry of
+pure, stdlib-only detectors over the per-repeat sample distributions
+the store keeps:
+
+* :func:`mann_whitney` — one-sided Mann-Whitney U rank test that the
+  current throughput distribution is stochastically *smaller* than the
+  baseline's (normal approximation with tie correction);
+* :func:`bootstrap_median` — seeded bootstrap confidence interval on
+  the ratio of medians; regression when the whole interval sits below
+  ``1 - min_effect``.
+
+Both detectors first normalize the current samples by the
+host-calibration ratio (a host that measures 1.3× slower on the fixed
+spin+hash microbenchmark is *expected* to simulate 1.3× slower), and
+both gate on a practical-effect floor as well as significance — a
+statistically detectable 0.5 % dip is noise to us, and the floor is
+what drives the false-positive rate on noise-only distributions to
+zero.  Detectors are pure functions of (baseline samples, current
+samples, calibration ratio), so every verdict is unit-testable without
+running the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .collect import BenchResult
+from .store import entry_samples
+
+#: Legacy scalar gate: fail on >20 % best-of-N ops/sec drop.  Still the
+#: fallback when either side has too few samples for the detectors.
+REGRESSION_THRESHOLD = 0.20
+
+#: One-sided significance level for rank-test verdicts.
+ALPHA = 0.01
+#: Practical-effect floor: drops smaller than this are never flagged.
+MIN_EFFECT = 0.05
+#: Bootstrap resample count and fixed seed (verdicts are deterministic).
+BOOTSTRAP_RESAMPLES = 400
+BOOTSTRAP_SEED = 20260808
+BOOTSTRAP_CONFIDENCE = 0.95
+
+
+def calibration_ratio(
+    base_calibration: Optional[float], current_calibration: Optional[float]
+) -> float:
+    """How much slower the current host measures than the baseline host.
+
+    ``> 1`` means the current host is slower: its throughput samples are
+    multiplied by this ratio to land on the baseline host's scale.  With
+    either measurement missing, the ratio degrades to 1.0 (no
+    normalization) — the detectors then judge raw throughput.
+    """
+    if not base_calibration or not current_calibration:
+        return 1.0
+    if base_calibration <= 0 or current_calibration <= 0:
+        return 1.0
+    return current_calibration / base_calibration
+
+
+def normalize_samples(samples: Sequence[float], ratio: float) -> List[float]:
+    """Scale throughput samples onto the baseline host's speed."""
+    return [s * ratio for s in samples]
+
+
+@dataclass(frozen=True)
+class DetectorVerdict:
+    """One detector's judgement of one baseline/current sample pair."""
+
+    detector: str
+    #: True only when the detector both ran and found a regression.
+    regressed: bool
+    #: False when the detector declined (e.g. too few samples); a
+    #: non-applicable verdict never fails a gate on its own.
+    applicable: bool
+    #: median(current, normalized) / median(baseline); < 1 is a slowdown.
+    median_ratio: float
+    #: Calibration ratio the current samples were normalized by.
+    calibration_ratio: float = 1.0
+    p_value: Optional[float] = None
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "detector": self.detector,
+            "regressed": self.regressed,
+            "applicable": self.applicable,
+            "median_ratio": round(self.median_ratio, 4),
+            "calibration_ratio": round(self.calibration_ratio, 4),
+            "detail": self.detail,
+        }
+        if self.p_value is not None:
+            payload["p_value"] = round(self.p_value, 6)
+        if self.ci_low is not None:
+            payload["ci_low"] = round(self.ci_low, 4)
+        if self.ci_high is not None:
+            payload["ci_high"] = round(self.ci_high, 4)
+        return payload
+
+
+@dataclass(frozen=True)
+class Detector:
+    """Registry entry: a named, pure verdict function."""
+
+    name: str
+    #: Minimum samples required on *each* side before the statistic
+    #: means anything; below this the detector declines (applicable
+    #: False) and the caller falls back to the legacy scalar threshold.
+    min_samples: int
+    func: Callable[..., DetectorVerdict]
+
+    def __call__(self, base: Sequence[float], cur: Sequence[float],
+                 **kwargs: Any) -> DetectorVerdict:
+        if len(base) < self.min_samples or len(cur) < self.min_samples:
+            ratio = kwargs.get("cal_ratio", 1.0)
+            med = _median_ratio(base, cur, ratio)
+            return DetectorVerdict(
+                detector=self.name, regressed=False, applicable=False,
+                median_ratio=med, calibration_ratio=ratio,
+                detail=(f"needs >= {self.min_samples} samples per side "
+                        f"(got {len(base)} vs {len(cur)})"),
+            )
+        return self.func(base, cur, **kwargs)
+
+
+#: The detector registry: name -> Detector.  ``--check`` runs all of
+#: them by default; new detectors only need :func:`register_detector`.
+DETECTORS: Dict[str, Detector] = {}
+
+
+def register_detector(name: str, min_samples: int):
+    def wrap(func: Callable[..., DetectorVerdict]) -> Detector:
+        detector = Detector(name=name, min_samples=min_samples, func=func)
+        DETECTORS[name] = detector
+        return detector
+    return wrap
+
+
+def detector_names() -> List[str]:
+    return sorted(DETECTORS)
+
+
+def resolve_detectors(names: Optional[Sequence[str]] = None) -> List[Detector]:
+    if not names:
+        return [DETECTORS[n] for n in detector_names()]
+    unknown = [n for n in names if n not in DETECTORS]
+    if unknown:
+        known = ", ".join(detector_names())
+        raise KeyError(f"unknown detector(s) {unknown}; known: {known}")
+    return [DETECTORS[n] for n in names]
+
+
+def _median_ratio(base: Sequence[float], cur: Sequence[float],
+                  ratio: float) -> float:
+    if not base or not cur:
+        return 1.0
+    base_med = median(base)
+    if base_med <= 0:
+        return 1.0
+    return median(normalize_samples(cur, ratio)) / base_med
+
+
+def _ranks(values: Sequence[float]) -> tuple:
+    """Average ranks (1-based, ties averaged) and the tie-correction sum."""
+    n = len(values)
+    order = sorted(range(n), key=values.__getitem__)
+    ranks = [0.0] * n
+    tie_sum = 0.0
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        t = j - i + 1
+        tie_sum += t * t * t - t
+        i = j + 1
+    return ranks, tie_sum
+
+
+@register_detector("mann_whitney", min_samples=5)
+def mann_whitney(
+    base: Sequence[float],
+    cur: Sequence[float],
+    cal_ratio: float = 1.0,
+    alpha: float = ALPHA,
+    min_effect: float = MIN_EFFECT,
+    **_: Any,
+) -> DetectorVerdict:
+    """One-sided Mann-Whitney U: is current stochastically slower?
+
+    Normal approximation with tie correction and continuity correction;
+    exact enough from ~5 samples per side, and the verdict additionally
+    requires the observed median drop to exceed ``min_effect`` so a
+    significant-but-tiny shift never fires the gate.
+    """
+    cur_norm = normalize_samples(cur, cal_ratio)
+    n1, n2 = len(cur_norm), len(base)
+    combined = list(cur_norm) + list(base)
+    ranks, tie_sum = _ranks(combined)
+    rank_cur = sum(ranks[:n1])
+    u_cur = rank_cur - n1 * (n1 + 1) / 2.0
+    mu = n1 * n2 / 2.0
+    total = n1 + n2
+    var = (n1 * n2 / 12.0) * (
+        (total + 1) - tie_sum / (total * (total - 1))
+    )
+    med_ratio = _median_ratio(base, cur, cal_ratio)
+    if var <= 0:
+        # Every sample identical: nothing moved, nothing to flag.
+        return DetectorVerdict(
+            detector="mann_whitney", regressed=False, applicable=True,
+            median_ratio=med_ratio, calibration_ratio=cal_ratio,
+            p_value=1.0, detail="degenerate (all samples tied)",
+        )
+    z = (u_cur - mu + 0.5) / math.sqrt(var)
+    p_value = 0.5 * math.erfc(-z / math.sqrt(2.0))  # P(U <= u_cur)
+    drop = 1.0 - med_ratio
+    regressed = p_value < alpha and drop >= min_effect
+    return DetectorVerdict(
+        detector="mann_whitney", regressed=regressed, applicable=True,
+        median_ratio=med_ratio, calibration_ratio=cal_ratio,
+        p_value=p_value,
+        detail=(f"one-sided p={p_value:.4g} (alpha {alpha}), "
+                f"median {'-' if drop >= 0 else '+'}{abs(drop):.1%} "
+                f"(floor {min_effect:.0%})"),
+    )
+
+
+@register_detector("bootstrap_median", min_samples=5)
+def bootstrap_median(
+    base: Sequence[float],
+    cur: Sequence[float],
+    cal_ratio: float = 1.0,
+    min_effect: float = MIN_EFFECT,
+    resamples: int = BOOTSTRAP_RESAMPLES,
+    seed: int = BOOTSTRAP_SEED,
+    confidence: float = BOOTSTRAP_CONFIDENCE,
+    **_: Any,
+) -> DetectorVerdict:
+    """Seeded bootstrap CI on median(current)/median(baseline).
+
+    Resamples both sides with replacement ``resamples`` times from a
+    fixed-seed ``random.Random`` (verdicts are bit-reproducible),
+    takes the percentile interval of the median ratio, and flags a
+    regression only when the *entire* interval sits below
+    ``1 - min_effect`` — i.e. even the luckiest resampling of the data
+    shows more than the practical-effect floor of slowdown.
+    """
+    cur_norm = normalize_samples(cur, cal_ratio)
+    rng = random.Random(seed)
+    nb, nc = len(base), len(cur_norm)
+    ratios = []
+    for _ in range(max(1, resamples)):
+        b_med = median(base[rng.randrange(nb)] for _ in range(nb))
+        c_med = median(cur_norm[rng.randrange(nc)] for _ in range(nc))
+        ratios.append(c_med / b_med if b_med > 0 else 1.0)
+    ratios.sort()
+    tail = (1.0 - confidence) / 2.0
+    lo_idx = min(len(ratios) - 1, int(tail * len(ratios)))
+    hi_idx = min(len(ratios) - 1, int((1.0 - tail) * len(ratios)))
+    ci_low, ci_high = ratios[lo_idx], ratios[hi_idx]
+    med_ratio = _median_ratio(base, cur, cal_ratio)
+    regressed = ci_high < 1.0 - min_effect
+    return DetectorVerdict(
+        detector="bootstrap_median", regressed=regressed, applicable=True,
+        median_ratio=med_ratio, calibration_ratio=cal_ratio,
+        ci_low=ci_low, ci_high=ci_high,
+        detail=(f"{confidence:.0%} CI on median ratio "
+                f"[{ci_low:.3f}, {ci_high:.3f}] vs fail line "
+                f"{1.0 - min_effect:.3f}"),
+    )
+
+
+def compare_samples(
+    base: Sequence[float],
+    cur: Sequence[float],
+    cal_ratio: float = 1.0,
+    detectors: Optional[Sequence[str]] = None,
+    **kwargs: Any,
+) -> List[DetectorVerdict]:
+    """Run the named detectors (default: all) on one sample pair."""
+    return [d(base, cur, cal_ratio=cal_ratio, **kwargs)
+            for d in resolve_detectors(detectors)]
+
+
+@dataclass
+class ScenarioCheck:
+    """Aggregated check outcome for one scenario."""
+
+    scenario: str
+    regressed: bool
+    #: True when no detector was applicable and the legacy scalar
+    #: threshold decided instead.
+    fallback: bool
+    median_ratio: float
+    verdicts: List[DetectorVerdict] = field(default_factory=list)
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "regressed": self.regressed,
+            "fallback": self.fallback,
+            "median_ratio": round(self.median_ratio, 4),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "detail": self.detail,
+        }
+
+
+def check_entry_pair(
+    base_entry: Dict[str, Any],
+    cur_entry: Dict[str, Any],
+    scenario: str,
+    detectors: Optional[Sequence[str]] = None,
+    threshold: float = REGRESSION_THRESHOLD,
+    **kwargs: Any,
+) -> Optional[ScenarioCheck]:
+    """Judge one scenario between two stored entries (bisect's unit)."""
+    base = entry_samples(base_entry, scenario)
+    cur = entry_samples(cur_entry, scenario)
+    if not base or not cur:
+        return None
+    ratio = calibration_ratio(base_entry.get("host_calibration"),
+                              cur_entry.get("host_calibration"))
+    return _judge(scenario, base, cur, ratio, detectors, threshold, **kwargs)
+
+
+def check_results(
+    results: Dict[str, BenchResult],
+    baseline: Optional[Dict[str, Any]],
+    calibration: Optional[float] = None,
+    detectors: Optional[Sequence[str]] = None,
+    threshold: float = REGRESSION_THRESHOLD,
+    **kwargs: Any,
+) -> Dict[str, ScenarioCheck]:
+    """Judge a fresh ``run_bench`` result set against a baseline entry.
+
+    Scenarios absent from the baseline are skipped (a brand-new
+    scenario has nothing to regress against).  With ``baseline`` None
+    the result is empty — the caller decides whether a missing baseline
+    is an error (``--check`` does).
+    """
+    if baseline is None:
+        return {}
+    checks: Dict[str, ScenarioCheck] = {}
+    for name, result in results.items():
+        base = entry_samples(baseline, name)
+        if not base:
+            continue
+        ratio = calibration_ratio(baseline.get("host_calibration"),
+                                  calibration)
+        checks[name] = _judge(name, base, result.samples_ops_per_sec,
+                              ratio, detectors, threshold, **kwargs)
+    return checks
+
+
+def _judge(
+    scenario: str,
+    base: Sequence[float],
+    cur: Sequence[float],
+    cal_ratio: float,
+    detectors: Optional[Sequence[str]],
+    threshold: float,
+    **kwargs: Any,
+) -> ScenarioCheck:
+    verdicts = compare_samples(base, cur, cal_ratio=cal_ratio,
+                               detectors=detectors, **kwargs)
+    med_ratio = _median_ratio(base, cur, cal_ratio)
+    applicable = [v for v in verdicts if v.applicable]
+    if applicable:
+        flagged = [v.detector for v in applicable if v.regressed]
+        return ScenarioCheck(
+            scenario=scenario,
+            regressed=bool(flagged),
+            fallback=False,
+            median_ratio=med_ratio,
+            verdicts=verdicts,
+            detail=(f"flagged by {', '.join(flagged)}" if flagged
+                    else f"passed {len(applicable)} detector(s)"),
+        )
+    # Too few samples on one side (e.g. a migrated v1 scalar entry):
+    # fall back to the legacy best-of-N threshold so old trajectories
+    # still gate — just less sharply.
+    best_base = max(base)
+    best_cur = max(normalize_samples(cur, cal_ratio))
+    regressed = best_base > 0 and best_cur < (1.0 - threshold) * best_base
+    return ScenarioCheck(
+        scenario=scenario,
+        regressed=regressed,
+        fallback=True,
+        median_ratio=med_ratio,
+        verdicts=verdicts,
+        detail=(f"legacy threshold fallback: best {best_cur:,.0f} vs "
+                f"{best_base:,.0f} ops/s (fail below "
+                f"{(1.0 - threshold) * best_base:,.0f})"),
+    )
+
+
+def check_regression(
+    results: Dict[str, BenchResult],
+    baseline: Optional[Dict[str, Any]],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Legacy scalar gate: scenario names whose best-of-N ops/sec
+    dropped more than ``threshold`` (no calibration normalization, no
+    statistics).  Kept for API compatibility; ``--check`` now goes
+    through :func:`check_results`.
+    """
+    if baseline is None:
+        return []
+    failures = []
+    for name, result in results.items():
+        base = baseline.get("results", {}).get(name)
+        if not base:
+            continue
+        base_ops = base.get("ops_per_sec", 0.0)
+        if base_ops > 0 and result.ops_per_sec < (1.0 - threshold) * base_ops:
+            failures.append(name)
+    return failures

@@ -1,32 +1,20 @@
-"""Simulator-throughput benchmarking and the perf-trajectory file.
+"""Collect stage: run timed scenarios and record *all* repeat samples.
 
-The value of this reproduction is *experiments per hour*: every figure,
-sweep and crash-sweep funnels through the per-memory-op loop in
-``repro.sim.hierarchy``, so simulator throughput — not the harness —
-bounds cold-cache wall clock.  This module measures it, records it, and
-guards it:
+Collection is deliberately dumb: build the machine, run it, read the
+clock.  Everything statistical lives in :mod:`.check`; everything
+persistent lives in :mod:`.store`.  The timed region includes lazy
+trace generation — that is the real cost of an experiment — and
+excludes machine/workload construction.
 
-* :data:`SCENARIOS` — timed micro/macro scenarios (uniform, btree,
-  ycsb_a under nvoverlay and picl) run through the ordinary
-  ``Machine``/``make_workload`` path, serial, uncached.
-* :func:`run_bench` — ops/sec plus p50/p95 per-op wall cost (sampled
-  per transaction via ``time.perf_counter``), optionally with a cProfile
-  dump of the top hot frames.
-* :func:`load_trajectory` / :func:`append_entry` — the PR-over-PR
-  history in ``BENCH_sim_throughput.json`` at the repo root.  Entries
-  are keyed by an environment id (platform + python version, or
-  ``$REPRO_BENCH_ENV``) so numbers from different machines never gate
-  each other.
-* :func:`check_regression` — the CI gate: compare a fresh run against
-  the last committed entry for the same environment and fail on a
-  >20 % ops/sec drop.  With no matching baseline the gate is skipped.
-* :func:`run_fingerprint` — a byte-exact fingerprint (full stats dump,
-  final memory/NVM image, spec cache key) of one run, used by the
-  golden-parity tests to prove optimizations did not change semantics.
+Two seams exist for deterministic tests (no bench test should depend on
+wall-clock timing):
 
-``ops`` counts line-granular memory operations executed by the
-hierarchy (the ``l1.accesses`` counter), and the timed region includes
-lazy trace generation — that is the real cost of an experiment.
+* the clock is the module-level :func:`perf_counter` binding, so a test
+  can monkeypatch ``collect.perf_counter`` with a fake that advances by
+  fixed deltas;
+* machine/workload construction goes through :func:`_build`, so a test
+  can substitute a canned machine that "runs" a prerecorded sample
+  stream without touching the simulator.
 """
 
 from __future__ import annotations
@@ -35,26 +23,13 @@ import cProfile
 import hashlib
 import io
 import json
-import os
-import platform
 import pstats
 import sys
-import time
 from dataclasses import dataclass, field
-from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..sim import machine_for
-from ..workloads import make_workload
-from .runner import make_scheme
-from .spec import RunSpec
-
-#: Name of the trajectory file at the repo root.
-TRAJECTORY_FILENAME = "BENCH_sim_throughput.json"
-TRAJECTORY_SCHEMA = 1
-
-#: Default regression threshold: fail on >20 % ops/sec drop.
-REGRESSION_THRESHOLD = 0.20
+from ..spec import RunSpec
 
 
 @dataclass(frozen=True)
@@ -77,12 +52,12 @@ class BenchScenario:
         scale = self.scale * (self.quick_scale if quick else 1.0)
         config = None
         if self.cores is not None:
-            from ..sim import SystemConfig
+            from ...sim import SystemConfig
 
             config = SystemConfig.scaled(self.cores, batch_epoch_sync=True,
                                          sim_workers=sim_workers)
         elif sim_workers != 1:
-            from ..sim import SystemConfig
+            from ...sim import SystemConfig
 
             config = SystemConfig(sim_workers=sim_workers)
         return RunSpec(workload=self.workload, scheme=self.scheme,
@@ -110,7 +85,13 @@ SCENARIOS: Dict[str, BenchScenario] = {
 
 @dataclass
 class BenchResult:
-    """Throughput measurement of one scenario (best of ``repeats``)."""
+    """Throughput measurement of one scenario.
+
+    The *best* repeat supplies the headline ``ops_per_sec`` (best-of-N
+    is the least-noise point estimate), but every repeat's wall time
+    survives in ``all_seconds`` — the statistical detectors in
+    :mod:`.check` judge the full distribution, never the scalar.
+    """
 
     name: str
     ops: int
@@ -124,6 +105,16 @@ class BenchResult:
     repeats: int
     all_seconds: List[float] = field(default_factory=list)
 
+    @property
+    def samples_ops_per_sec(self) -> List[float]:
+        """Per-repeat throughput samples (the distribution detectors use).
+
+        The simulated op count is deterministic per scenario, so each
+        repeat's rate is the same ``ops`` over that repeat's wall time.
+        """
+        samples = [self.ops / s for s in self.all_seconds if s > 0]
+        return samples or [self.ops_per_sec]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "ops": self.ops,
@@ -136,6 +127,9 @@ class BenchResult:
             "transactions": self.transactions,
             "repeats": self.repeats,
             "all_seconds": [round(s, 6) for s in self.all_seconds],
+            "samples_ops_per_sec": [
+                round(s, 1) for s in self.samples_ops_per_sec
+            ],
         }
 
 
@@ -148,11 +142,15 @@ def _percentile(samples: Sequence[float], fraction: float) -> float:
 
 
 def _build(spec: RunSpec, capture_txn_wall: bool) -> tuple:
+    from ...sim import machine_for
+    from ...workloads import make_workload
+    from ..runner import make_scheme
+
     config = spec.resolved_config
     oracle = None
     if spec.oracle:
         # Lazy import: only armed benches pay for the oracle package.
-        from ..oracle import ProtocolOracle
+        from ...oracle import ProtocolOracle
 
         oracle = ProtocolOracle()
     machine = machine_for(config, scheme=make_scheme(spec.scheme, spec.nvo_params),
@@ -189,9 +187,9 @@ def run_scenario(
     best: Optional[BenchResult] = None
     for repeat in range(max(1, repeats)):
         machine, workload = _build(spec, capture_txn_wall=True)
-        start = time.perf_counter()
+        start = perf_counter()
         result = machine.run(workload)
-        elapsed = time.perf_counter() - start
+        elapsed = perf_counter() - start
         seconds.append(elapsed)
         if best is not None and elapsed >= best.seconds:
             continue
@@ -261,120 +259,25 @@ def host_calibration(rounds: int = CALIBRATION_ROUNDS) -> float:
     """Seconds for a fixed spin+hash microbenchmark (best of 3).
 
     Measured once per bench invocation and stored with each trajectory
-    entry so ``--check`` can attribute an apparent throughput change to
-    the host rather than the code: if this number moved by roughly the
-    same factor as the scenario, the machine (thermal state, noisy
-    neighbours, power cap) changed — not the simulator.  Pure-Python
-    integer spin plus sha256 chaining, deliberately resembling the
-    interpreter-bound profile of the simulator itself.
+    entry.  The detectors in :mod:`.check` divide throughput deltas by
+    the calibration ratio before judging: if this number moved by
+    roughly the same factor as the scenario, the machine (thermal
+    state, noisy neighbours, power cap) changed — not the simulator.
+    Pure-Python integer spin plus sha256 chaining, deliberately
+    resembling the interpreter-bound profile of the simulator itself.
     """
     payload = b"repro-bench-calibration" * 32
     best = float("inf")
     for _ in range(3):
         digest = payload
-        start = time.perf_counter()
+        start = perf_counter()
         for _ in range(max(1, rounds)):
             digest = hashlib.sha256(digest).digest()
             acc = 0
             for i in range(2000):
                 acc = (acc * 31 + i) & 0xFFFFFFFF
-        best = min(best, time.perf_counter() - start)
+        best = min(best, perf_counter() - start)
     return best
-
-
-# --------------------------------------------------------------------------
-# Trajectory file (BENCH_sim_throughput.json)
-# --------------------------------------------------------------------------
-
-def env_id() -> str:
-    """Environment key baselines are matched on (never cross machines)."""
-    override = os.environ.get("REPRO_BENCH_ENV")
-    if override:
-        return override
-    return "{}-{}-py{}.{}".format(
-        platform.system(), platform.machine(),
-        sys.version_info.major, sys.version_info.minor,
-    )
-
-
-def default_trajectory_path() -> Path:
-    """``BENCH_sim_throughput.json`` at the repo root (cwd fallback)."""
-    here = Path(__file__).resolve()
-    for parent in here.parents:
-        if (parent / "pyproject.toml").exists():
-            return parent / TRAJECTORY_FILENAME
-    return Path.cwd() / TRAJECTORY_FILENAME
-
-
-def load_trajectory(path: Path) -> Dict[str, Any]:
-    if not path.exists():
-        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
-    data = json.loads(path.read_text())
-    data.setdefault("schema", TRAJECTORY_SCHEMA)
-    data.setdefault("entries", [])
-    return data
-
-
-def append_entry(
-    path: Path,
-    results: Dict[str, BenchResult],
-    label: str,
-    quick: bool,
-    timestamp: Optional[str] = None,
-    calibration: Optional[float] = None,
-) -> Dict[str, Any]:
-    """Append one measurement entry to the trajectory and rewrite it."""
-    data = load_trajectory(path)
-    entry = {
-        "label": label,
-        "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "env": env_id(),
-        "quick": quick,
-        "host_calibration": (
-            round(calibration, 6) if calibration is not None else None
-        ),
-        "results": {name: result.to_dict() for name, result in results.items()},
-    }
-    data["entries"].append(entry)
-    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
-    return entry
-
-
-def baseline_entry(
-    data: Dict[str, Any], env: Optional[str] = None, quick: Optional[bool] = None
-) -> Optional[Dict[str, Any]]:
-    """The most recent entry matching this environment (and quick flag)."""
-    env = env or env_id()
-    for entry in reversed(data.get("entries", [])):
-        if entry.get("env") != env:
-            continue
-        if quick is not None and bool(entry.get("quick")) != quick:
-            continue
-        return entry
-    return None
-
-
-def check_regression(
-    results: Dict[str, BenchResult],
-    baseline: Optional[Dict[str, Any]],
-    threshold: float = REGRESSION_THRESHOLD,
-) -> List[str]:
-    """Scenario names whose ops/sec dropped more than ``threshold``.
-
-    A missing baseline (or a scenario absent from it) is never a
-    failure — the gate only engages once a comparable entry exists.
-    """
-    if baseline is None:
-        return []
-    failures = []
-    for name, result in results.items():
-        base = baseline.get("results", {}).get(name)
-        if not base:
-            continue
-        base_ops = base.get("ops_per_sec", 0.0)
-        if base_ops > 0 and result.ops_per_sec < (1.0 - threshold) * base_ops:
-            failures.append(name)
-    return failures
 
 
 # --------------------------------------------------------------------------
@@ -395,10 +298,14 @@ def run_fingerprint(spec: RunSpec) -> Dict[str, Any]:
     cache key.  Two implementations of the simulator are behaviorally
     identical on ``spec`` iff these hashes match.
     """
+    from ...sim import machine_for
+    from ...workloads import make_workload
+    from ..runner import make_scheme
+
     config = spec.resolved_config
     oracle = None
     if spec.oracle:
-        from ..oracle import ProtocolOracle
+        from ...oracle import ProtocolOracle
 
         oracle = ProtocolOracle()
     machine = machine_for(config, scheme=make_scheme(spec.scheme, spec.nvo_params),

@@ -1,0 +1,227 @@
+"""Store stage: versioned per-scenario profiles in the trajectory file.
+
+``BENCH_sim_throughput.json`` at the repo root is the PR-over-PR perf
+history.  Schema v2 makes it a *profile* store: every scenario result
+carries the full per-repeat sample distribution
+(``samples_ops_per_sec``) plus the host-calibration measurement, so the
+detectors in :mod:`.check` can judge distributions instead of scalars
+and :mod:`.bisect` can attribute a regression to an entry range.
+
+Schema history
+--------------
+
+* **v1** (PR 3) — scalar entries: best-of-N ``ops_per_sec`` per
+  scenario, raw repeat wall times in ``all_seconds``, optional
+  ``host_calibration`` (added in PR 8).
+* **v2** (this PR) — adds ``samples_ops_per_sec`` (per-repeat
+  throughput) to every result and an optional top-level ``commit`` per
+  entry.  :func:`migrate_trajectory` upgrades v1 in place and is
+  **lossless**: every v1 field is preserved byte-for-byte, the samples
+  are derived from the v1 ``ops``/``all_seconds`` pair (falling back to
+  the scalar ``ops_per_sec`` when a v1 entry recorded no repeat
+  times).  Migration is idempotent; :func:`load_trajectory` migrates on
+  read, so callers only ever see v2.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from .collect import BenchResult
+
+#: Name of the trajectory file at the repo root.
+TRAJECTORY_FILENAME = "BENCH_sim_throughput.json"
+TRAJECTORY_SCHEMA = 2
+
+
+def env_id() -> str:
+    """Environment key baselines are matched on (never cross machines)."""
+    override = os.environ.get("REPRO_BENCH_ENV")
+    if override:
+        return override
+    return "{}-{}-py{}.{}".format(
+        platform.system(), platform.machine(),
+        sys.version_info.major, sys.version_info.minor,
+    )
+
+
+def default_trajectory_path() -> Path:
+    """``BENCH_sim_throughput.json`` at the repo root (cwd fallback)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent / TRAJECTORY_FILENAME
+    return Path.cwd() / TRAJECTORY_FILENAME
+
+
+def current_commit() -> Optional[str]:
+    """Short git commit id of the working tree, or None outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=default_trajectory_path().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _derive_samples(result: Dict[str, Any]) -> List[float]:
+    """Per-repeat ops/sec from a v1 result dict (lossless derivation).
+
+    The simulated op count is deterministic per scenario, so each
+    repeat's throughput is ``ops`` over that repeat's wall time.  A v1
+    entry that kept no repeat times degrades to the single best-of-N
+    scalar — one sample, which is exactly the information it stored.
+    """
+    ops = result.get("ops", 0)
+    seconds = [s for s in result.get("all_seconds", []) if s and s > 0]
+    if ops and seconds:
+        return [round(ops / s, 1) for s in seconds]
+    scalar = result.get("ops_per_sec", 0.0)
+    return [scalar] if scalar else []
+
+
+def migrate_trajectory(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Upgrade a trajectory document to schema v2, in place.
+
+    Idempotent and lossless: existing fields are never rewritten, only
+    ``samples_ops_per_sec`` is added where missing (and the schema tag
+    bumped).  Returns ``data`` for chaining.
+    """
+    data.setdefault("schema", 1)
+    data.setdefault("entries", [])
+    if data["schema"] > TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"trajectory schema {data['schema']} is newer than this "
+            f"code understands ({TRAJECTORY_SCHEMA}); refusing to guess"
+        )
+    for entry in data["entries"]:
+        entry.setdefault("host_calibration", None)
+        for result in entry.get("results", {}).values():
+            if "samples_ops_per_sec" not in result:
+                result["samples_ops_per_sec"] = _derive_samples(result)
+    data["schema"] = TRAJECTORY_SCHEMA
+    return data
+
+
+def load_trajectory(path: Path) -> Dict[str, Any]:
+    """Load (and in-memory migrate) the trajectory document at ``path``."""
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    return migrate_trajectory(json.loads(path.read_text()))
+
+
+def make_entry(
+    results: Dict[str, BenchResult],
+    label: str,
+    quick: bool,
+    timestamp: Optional[str] = None,
+    calibration: Optional[float] = None,
+    commit: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One schema-v2 trajectory entry (not yet appended anywhere)."""
+    entry = {
+        "label": label,
+        "timestamp": timestamp or time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "env": env_id(),
+        "quick": quick,
+        "host_calibration": (
+            round(calibration, 6) if calibration is not None else None
+        ),
+        "results": {name: result.to_dict() for name, result in results.items()},
+    }
+    if commit:
+        entry["commit"] = commit
+    return entry
+
+
+def append_entry(
+    path: Path,
+    results: Dict[str, BenchResult],
+    label: str,
+    quick: bool,
+    timestamp: Optional[str] = None,
+    calibration: Optional[float] = None,
+    commit: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Append one measurement entry to the trajectory and rewrite it."""
+    data = load_trajectory(path)
+    entry = make_entry(results, label, quick, timestamp=timestamp,
+                       calibration=calibration, commit=commit)
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return entry
+
+
+def write_profile(
+    path: Path,
+    results: Dict[str, BenchResult],
+    label: str,
+    quick: bool,
+    timestamp: Optional[str] = None,
+    calibration: Optional[float] = None,
+    commit: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Write one run's full profile (all samples) to a standalone file.
+
+    The document has the same shape as the trajectory file (schema v2,
+    one entry), so everything that reads trajectories — the detectors,
+    ``bisect``, ad-hoc analysis — reads profiles too.  This is the
+    ``--profile-out`` path: an A/B investigation run with
+    ``--no-update`` still keeps its raw per-repeat data.
+    """
+    entry = make_entry(results, label, quick, timestamp=timestamp,
+                       calibration=calibration, commit=commit)
+    doc = {"schema": TRAJECTORY_SCHEMA, "entries": [entry]}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return entry
+
+
+def baseline_entry(
+    data: Dict[str, Any], env: Optional[str] = None, quick: Optional[bool] = None
+) -> Optional[Dict[str, Any]]:
+    """The most recent entry matching this environment (and quick flag)."""
+    env = env or env_id()
+    for entry in reversed(data.get("entries", [])):
+        if entry.get("env") != env:
+            continue
+        if quick is not None and bool(entry.get("quick")) != quick:
+            continue
+        return entry
+    return None
+
+
+def entry_samples(entry: Dict[str, Any], scenario: str) -> List[float]:
+    """The stored sample distribution for ``scenario`` in ``entry``.
+
+    Empty when the entry never measured that scenario.  Entries loaded
+    through :func:`load_trajectory` always carry samples (migration
+    guarantees it); raw dicts from elsewhere fall back to the same
+    derivation the migration uses.
+    """
+    result = entry.get("results", {}).get(scenario)
+    if not result:
+        return []
+    samples = result.get("samples_ops_per_sec")
+    if samples is None:
+        samples = _derive_samples(result)
+    return list(samples)
+
+
+#: Signature of the pluggable re-collection hook used by :mod:`.bisect`:
+#: called with (entry, scenario_name), returns fresh ops/sec samples for
+#: that entry's commit — e.g. by checking out ``entry["commit"]`` and
+#: re-running the collect stage — or None to keep the stored samples.
+RecollectHook = Callable[[Dict[str, Any], str], Optional[List[float]]]

@@ -1,0 +1,26 @@
+"""Shared pytest configuration.
+
+Registers the opt-in ``slow`` marker: tests that intentionally depend
+on real wall-clock timing (e.g. the bench harness's real-timing smoke)
+are skipped by default and run only with ``--run-slow``.  Everything
+else in the suite must be deterministic — timing goes through the fake
+clock seam in ``repro.harness.bench.collect``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run @pytest.mark.slow tests (real wall-clock timing)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="real-timing test; pass --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,117 @@
+"""Regenerate the golden bench-profile fixtures in this directory.
+
+Deterministic (fixed seeds): running this script always reproduces the
+committed ``fixtures.json`` and ``bisect_trajectory.json`` byte for
+byte.  The fixtures model per-repeat ops/sec distributions the way the
+collect stage records them — a baseline host around 100k ops/s with
+~2.5 % multiplicative run-to-run noise — and the cases the detector
+tests assert on:
+
+* ``regression_10`` / ``regression_30`` — same noise, 10 % / 30 %
+  injected slowdown (code got slower);
+* ``noise_trials`` — 50 independent resamples of the baseline
+  distribution (nothing changed; any flag is a false positive);
+* ``calibration_shift`` — the whole host got 1.3x slower (samples
+  scaled down, calibration scaled up); after normalization this must
+  look identical to noise.
+
+``bisect_trajectory.json`` is a synthetic 10-entry schema-v2 trajectory
+in which the 12 % regression enters at entry index 6 (commit ``c6``),
+with per-entry host-calibration jitter so the bisect walk exercises the
+normalization path too.
+
+Usage: ``python tests/data/bench_profiles/_generate.py``
+"""
+
+import json
+import random
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+SEED = 20260808
+BASE_OPS = 100_000.0
+NOISE_STD = 0.025  # multiplicative run-to-run noise
+SAMPLES = 24
+NOISE_TRIALS = 50
+BASE_CAL = 0.009  # seconds for the fixed calibration microbenchmark
+
+
+def draw(rng: random.Random, n: int, factor: float = 1.0) -> list:
+    return [round(BASE_OPS * factor * max(0.5, 1.0 + rng.gauss(0.0, NOISE_STD)), 1)
+            for _ in range(n)]
+
+
+def make_fixtures() -> dict:
+    rng = random.Random(SEED)
+    baseline = draw(rng, SAMPLES)
+    regression_10 = draw(rng, SAMPLES, factor=0.90)
+    regression_30 = draw(rng, SAMPLES, factor=0.70)
+    noise_trials = [draw(rng, SAMPLES) for _ in range(NOISE_TRIALS)]
+    # Slower host, same code: throughput scales by 1/1.3, the
+    # calibration microbenchmark takes 1.3x longer.
+    shift = 1.3
+    calibration_shift = draw(rng, SAMPLES, factor=1.0 / shift)
+    return {
+        "seed": SEED,
+        "base_ops": BASE_OPS,
+        "noise_std": NOISE_STD,
+        "baseline": {"samples": baseline, "host_calibration": BASE_CAL},
+        "regression_10": {"samples": regression_10,
+                          "host_calibration": BASE_CAL},
+        "regression_30": {"samples": regression_30,
+                          "host_calibration": BASE_CAL},
+        "noise_trials": noise_trials,
+        "calibration_shift": {"samples": calibration_shift,
+                              "host_calibration": round(BASE_CAL * shift, 6)},
+    }
+
+
+def make_bisect_trajectory() -> dict:
+    rng = random.Random(SEED + 1)
+    entries = []
+    first_bad = 6
+    for index in range(10):
+        factor = 0.88 if index >= first_bad else 1.0
+        # Host jitter per entry: calibration and throughput move together.
+        host = 1.0 + rng.gauss(0.0, 0.03)
+        samples = draw(rng, 12, factor=factor / host)
+        best = max(samples)
+        ops = 64000
+        entries.append({
+            "label": f"synthetic entry {index}",
+            "timestamp": f"2026-07-{index + 1:02d}T00:00:00",
+            "env": "fixture-env",
+            "quick": False,
+            "host_calibration": round(BASE_CAL * host, 6),
+            "commit": f"c{index}",
+            "results": {
+                "uniform_nvoverlay": {
+                    "ops": ops,
+                    "seconds": round(ops / best, 6),
+                    "ops_per_sec": best,
+                    "per_op_us_p50": 20.0,
+                    "per_op_us_p95": 35.0,
+                    "cycles": 295020,
+                    "stores": 31841,
+                    "transactions": 16000,
+                    "repeats": 12,
+                    "all_seconds": [round(ops / s, 6) for s in samples],
+                    "samples_ops_per_sec": samples,
+                },
+            },
+        })
+    return {"schema": 2, "first_bad_index": first_bad, "entries": entries}
+
+
+def main() -> None:
+    (HERE / "fixtures.json").write_text(
+        json.dumps(make_fixtures(), indent=2) + "\n")
+    (HERE / "bisect_trajectory.json").write_text(
+        json.dumps(make_bisect_trajectory(), indent=2) + "\n")
+    print(f"wrote {HERE / 'fixtures.json'}")
+    print(f"wrote {HERE / 'bisect_trajectory.json'}")
+
+
+if __name__ == "__main__":
+    main()

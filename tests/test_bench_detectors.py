@@ -1,0 +1,242 @@
+"""Statistical regression detectors, judged on golden fixture profiles.
+
+Pure-function tests: nothing here runs the simulator, so this file (with
+``test_bench_store.py`` and ``test_bench_bisect.py``) is the CI
+detector-unit job.  The fixtures under ``tests/data/bench_profiles/``
+are deterministic (see ``_generate.py`` there) and encode the
+acceptance cases:
+
+* known regressions (10 % and 30 % injected slowdowns) — every
+  detector must flag both;
+* known noise (50 independent resamples of the baseline distribution)
+  — zero false positives, on every trial, for every detector;
+* a pure calibration shift (host 1.3x slower, same code) — no detector
+  may flag it once normalized, and every detector *would* flag it
+  unnormalized (proving the normalization is load-bearing, not
+  decorative).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.bench import check
+from repro.harness.bench.collect import BenchResult
+
+FIXTURES = Path(__file__).parent / "data" / "bench_profiles" / "fixtures.json"
+
+
+@pytest.fixture(scope="module")
+def fx():
+    return json.loads(FIXTURES.read_text())
+
+
+def _cal_ratio(fx, case):
+    return check.calibration_ratio(
+        fx["baseline"]["host_calibration"], case["host_calibration"])
+
+
+ALL_DETECTORS = sorted(check.DETECTORS)
+
+
+class TestRegistry:
+    def test_both_required_detectors_registered(self):
+        assert {"mann_whitney", "bootstrap_median"} <= set(check.DETECTORS)
+
+    def test_resolve_default_is_all(self):
+        assert [d.name for d in check.resolve_detectors()] == ALL_DETECTORS
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown detector"):
+            check.resolve_detectors(["nope"])
+
+    def test_register_decorator_adds_and_runs(self):
+        @check.register_detector("always_fine", min_samples=1)
+        def always_fine(base, cur, cal_ratio=1.0, **kwargs):
+            return check.DetectorVerdict(
+                detector="always_fine", regressed=False, applicable=True,
+                median_ratio=1.0)
+        try:
+            verdicts = check.compare_samples(
+                [1.0], [1.0], detectors=["always_fine"])
+            assert [v.detector for v in verdicts] == ["always_fine"]
+        finally:
+            del check.DETECTORS["always_fine"]
+
+
+@pytest.mark.parametrize("detector", ALL_DETECTORS)
+class TestGoldenFixtures:
+    def test_flags_10pct_regression(self, fx, detector):
+        verdict = check.DETECTORS[detector](
+            fx["baseline"]["samples"], fx["regression_10"]["samples"],
+            cal_ratio=_cal_ratio(fx, fx["regression_10"]))
+        assert verdict.applicable
+        assert verdict.regressed, verdict.detail
+        assert verdict.median_ratio == pytest.approx(0.90, abs=0.03)
+
+    def test_flags_30pct_regression(self, fx, detector):
+        verdict = check.DETECTORS[detector](
+            fx["baseline"]["samples"], fx["regression_30"]["samples"],
+            cal_ratio=_cal_ratio(fx, fx["regression_30"]))
+        assert verdict.regressed, verdict.detail
+        assert verdict.median_ratio == pytest.approx(0.70, abs=0.03)
+
+    def test_zero_false_positives_on_noise(self, fx, detector):
+        """50 seeded noise-only trials: not a single flag allowed."""
+        flagged = []
+        for index, trial in enumerate(fx["noise_trials"]):
+            verdict = check.DETECTORS[detector](
+                fx["baseline"]["samples"], trial, cal_ratio=1.0)
+            assert verdict.applicable
+            if verdict.regressed:
+                flagged.append((index, verdict.detail))
+        assert flagged == []
+        assert len(fx["noise_trials"]) >= 50
+
+    def test_immune_to_pure_calibration_shift(self, fx, detector):
+        """Slower host, same code: normalized verdict must pass."""
+        case = fx["calibration_shift"]
+        verdict = check.DETECTORS[detector](
+            fx["baseline"]["samples"], case["samples"],
+            cal_ratio=_cal_ratio(fx, case))
+        assert not verdict.regressed, verdict.detail
+        assert verdict.median_ratio == pytest.approx(1.0, abs=0.03)
+
+    def test_calibration_shift_would_flag_unnormalized(self, fx, detector):
+        """The same shifted samples DO flag without normalization —
+        i.e. the calibration ratio is what absorbs the host change."""
+        case = fx["calibration_shift"]
+        verdict = check.DETECTORS[detector](
+            fx["baseline"]["samples"], case["samples"], cal_ratio=1.0)
+        assert verdict.regressed, verdict.detail
+
+    def test_declines_below_min_samples(self, fx, detector):
+        det = check.DETECTORS[detector]
+        short = fx["baseline"]["samples"][: det.min_samples - 1]
+        verdict = det(fx["baseline"]["samples"], short)
+        assert not verdict.applicable
+        assert not verdict.regressed
+        assert "samples" in verdict.detail
+
+
+class TestDeterminism:
+    def test_bootstrap_is_seeded(self, fx):
+        a = check.DETECTORS["bootstrap_median"](
+            fx["baseline"]["samples"], fx["noise_trials"][0])
+        b = check.DETECTORS["bootstrap_median"](
+            fx["baseline"]["samples"], fx["noise_trials"][0])
+        assert a == b
+        assert a.ci_low is not None and a.ci_high is not None
+        assert a.ci_low <= a.ci_high
+
+    def test_bootstrap_seed_changes_interval(self, fx):
+        a = check.DETECTORS["bootstrap_median"](
+            fx["baseline"]["samples"], fx["noise_trials"][0], seed=1)
+        b = check.DETECTORS["bootstrap_median"](
+            fx["baseline"]["samples"], fx["noise_trials"][0], seed=2)
+        assert (a.ci_low, a.ci_high) != (b.ci_low, b.ci_high)
+
+    def test_verdicts_serialize(self, fx):
+        for verdict in check.compare_samples(
+                fx["baseline"]["samples"], fx["regression_10"]["samples"]):
+            payload = verdict.to_dict()
+            assert payload["detector"] == verdict.detector
+            assert payload["regressed"] is True
+            json.dumps(payload)  # JSON-safe
+
+
+class TestEdgeCases:
+    def test_degenerate_all_tied(self):
+        verdict = check.DETECTORS["mann_whitney"]([5.0] * 8, [5.0] * 8)
+        assert verdict.applicable and not verdict.regressed
+        assert "degenerate" in verdict.detail
+
+    def test_calibration_ratio_missing_values(self):
+        assert check.calibration_ratio(None, 0.01) == 1.0
+        assert check.calibration_ratio(0.01, None) == 1.0
+        assert check.calibration_ratio(0.0, 0.01) == 1.0
+        assert check.calibration_ratio(0.01, 0.013) == pytest.approx(1.3)
+
+    def test_normalize_samples(self):
+        assert check.normalize_samples([10.0, 20.0], 1.5) == [15.0, 30.0]
+
+
+def _result(name, ops, seconds_list):
+    best = min(seconds_list)
+    return BenchResult(
+        name=name, ops=ops, seconds=best, ops_per_sec=ops / best,
+        per_op_us_p50=1.0, per_op_us_p95=2.0, cycles=1, stores=1,
+        transactions=1, repeats=len(seconds_list),
+        all_seconds=list(seconds_list),
+    )
+
+
+class TestCheckResults:
+    """The gate path ``--check`` uses: fresh results vs a stored entry."""
+
+    def _baseline(self, fx):
+        return {
+            "label": "base", "env": "test-env", "quick": True,
+            "host_calibration": fx["baseline"]["host_calibration"],
+            "results": {
+                "uniform_nvoverlay": {
+                    "ops": 64000,
+                    "ops_per_sec": max(fx["baseline"]["samples"]),
+                    "samples_ops_per_sec": fx["baseline"]["samples"],
+                },
+            },
+        }
+
+    def test_regressed_scenario_flagged(self, fx):
+        ops = 64000
+        seconds = [ops / s for s in fx["regression_10"]["samples"]]
+        checks = check.check_results(
+            {"uniform_nvoverlay": _result("uniform_nvoverlay", ops, seconds)},
+            self._baseline(fx),
+            calibration=fx["baseline"]["host_calibration"])
+        outcome = checks["uniform_nvoverlay"]
+        assert outcome.regressed and not outcome.fallback
+        assert {v.detector for v in outcome.verdicts} == set(ALL_DETECTORS)
+
+    def test_noise_passes(self, fx):
+        ops = 64000
+        seconds = [ops / s for s in fx["noise_trials"][3]]
+        checks = check.check_results(
+            {"uniform_nvoverlay": _result("uniform_nvoverlay", ops, seconds)},
+            self._baseline(fx),
+            calibration=fx["baseline"]["host_calibration"])
+        assert not checks["uniform_nvoverlay"].regressed
+
+    def test_too_few_samples_falls_back_to_threshold(self, fx):
+        ops = 64000
+        # One repeat: detectors decline, legacy 20% threshold decides.
+        fast = check.check_results(
+            {"uniform_nvoverlay": _result("uniform_nvoverlay", ops,
+                                          [ops / 99_000.0])},
+            self._baseline(fx))
+        assert fast["uniform_nvoverlay"].fallback
+        assert not fast["uniform_nvoverlay"].regressed
+        slow = check.check_results(
+            {"uniform_nvoverlay": _result("uniform_nvoverlay", ops,
+                                          [ops / 50_000.0])},
+            self._baseline(fx))
+        assert slow["uniform_nvoverlay"].fallback
+        assert slow["uniform_nvoverlay"].regressed
+
+    def test_missing_baseline_and_new_scenario_skip(self, fx):
+        results = {"brand_new": _result("brand_new", 10, [1.0])}
+        assert check.check_results(results, None) == {}
+        assert check.check_results(results, self._baseline(fx)) == {}
+
+    def test_scenario_check_serializes(self, fx):
+        ops = 64000
+        seconds = [ops / s for s in fx["regression_30"]["samples"]]
+        checks = check.check_results(
+            {"uniform_nvoverlay": _result("uniform_nvoverlay", ops, seconds)},
+            self._baseline(fx),
+            calibration=fx["baseline"]["host_calibration"])
+        payload = checks["uniform_nvoverlay"].to_dict()
+        json.dumps(payload)
+        assert payload["regressed"] is True
+        assert len(payload["verdicts"]) == len(ALL_DETECTORS)

@@ -1,0 +1,171 @@
+"""Trajectory/profile store: schema-v2 migration, profiles, round trips.
+
+No simulator here either — part of the fast CI detector-unit job.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.bench import store
+from repro.harness.bench.collect import BenchResult
+
+
+def _v1_doc():
+    """A schema-v1 document shaped exactly like the pre-migration
+    committed trajectory: scalar best-of-N plus raw repeat seconds."""
+    return {
+        "schema": 1,
+        "entries": [
+            {
+                "label": "pre-optimization",
+                "timestamp": "2026-08-06T00:00:00",
+                "env": "Linux-x86_64-py3.11",
+                "quick": False,
+                "results": {
+                    "uniform_nvoverlay": {
+                        "ops": 32000,
+                        "seconds": 2.0,
+                        "ops_per_sec": 16000.0,
+                        "per_op_us_p50": 33.8,
+                        "per_op_us_p95": 51.3,
+                        "cycles": 488868,
+                        "stores": 16014,
+                        "transactions": 8000,
+                        "repeats": 3,
+                        "all_seconds": [2.0, 2.5, 3.2],
+                    },
+                    # A degenerate v1 result that kept no repeat times:
+                    # the scalar is all the information there is.
+                    "scalar_only": {"ops_per_sec": 123.4},
+                },
+            },
+        ],
+    }
+
+
+def _result(name, ops, seconds_list):
+    best = min(seconds_list)
+    return BenchResult(
+        name=name, ops=ops, seconds=best, ops_per_sec=ops / best,
+        per_op_us_p50=1.0, per_op_us_p95=2.0, cycles=1, stores=1,
+        transactions=1, repeats=len(seconds_list),
+        all_seconds=list(seconds_list),
+    )
+
+
+class TestMigration:
+    def test_v1_upgrades_to_v2_with_derived_samples(self):
+        data = store.migrate_trajectory(_v1_doc())
+        assert data["schema"] == store.TRAJECTORY_SCHEMA == 2
+        result = data["entries"][0]["results"]["uniform_nvoverlay"]
+        assert result["samples_ops_per_sec"] == [
+            pytest.approx(32000 / s, rel=1e-4) for s in [2.0, 2.5, 3.2]
+        ]
+        # A scalar-only v1 result degrades to its one known sample.
+        scalar = data["entries"][0]["results"]["scalar_only"]
+        assert scalar["samples_ops_per_sec"] == [123.4]
+
+    def test_migration_is_lossless(self):
+        original = _v1_doc()
+        migrated = store.migrate_trajectory(json.loads(json.dumps(original)))
+        for entry_before, entry_after in zip(original["entries"],
+                                             migrated["entries"]):
+            for key, value in entry_before.items():
+                if key == "results":
+                    continue
+                assert entry_after[key] == value
+            for name, result in entry_before["results"].items():
+                for key, value in result.items():
+                    assert entry_after["results"][name][key] == value
+
+    def test_migration_is_idempotent(self):
+        once = store.migrate_trajectory(_v1_doc())
+        snapshot = json.dumps(once, sort_keys=True)
+        twice = store.migrate_trajectory(once)
+        assert json.dumps(twice, sort_keys=True) == snapshot
+
+    def test_newer_schema_refused(self):
+        with pytest.raises(ValueError, match="newer than this code"):
+            store.migrate_trajectory({"schema": 99, "entries": []})
+
+    def test_load_migrates_on_read(self, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps(_v1_doc()))
+        data = store.load_trajectory(path)
+        assert data["schema"] == 2
+        samples = store.entry_samples(data["entries"][0], "uniform_nvoverlay")
+        assert len(samples) == 3
+
+    def test_roundtrip_v1_file_then_append(self, tmp_path, monkeypatch):
+        """Load a v1 file, append a v2 entry, reload: one coherent v2
+        document, v1 data intact, old and new entries both usable."""
+        monkeypatch.setenv("REPRO_BENCH_ENV", "rt-env")
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps(_v1_doc()))
+        store.append_entry(path, {"uniform_nvoverlay": _result(
+            "uniform_nvoverlay", 32000, [1.0, 1.1, 0.9, 1.05, 0.95])},
+            label="fresh", quick=False, timestamp="2026-08-08T00:00:00",
+            calibration=0.009, commit="abc123")
+        data = store.load_trajectory(path)
+        assert data["schema"] == 2
+        assert [e["label"] for e in data["entries"]] == [
+            "pre-optimization", "fresh"]
+        assert data["entries"][0]["results"]["uniform_nvoverlay"][
+            "all_seconds"] == [2.0, 2.5, 3.2]
+        assert data["entries"][1]["commit"] == "abc123"
+        assert len(store.entry_samples(data["entries"][1],
+                                       "uniform_nvoverlay")) == 5
+
+    def test_committed_trajectory_is_v2_with_samples(self):
+        data = store.load_trajectory(store.default_trajectory_path())
+        raw = json.loads(store.default_trajectory_path().read_text())
+        assert raw["schema"] == 2  # migrated on disk, not just on read
+        for entry in data["entries"]:
+            for name in entry["results"]:
+                assert store.entry_samples(entry, name), (entry["label"], name)
+
+    def test_committed_github_ci_baseline_exists(self):
+        """CI gates --check against this entry; it must carry enough
+        samples for the statistical detectors."""
+        data = store.load_trajectory(store.default_trajectory_path())
+        entry = store.baseline_entry(data, env="github-ci", quick=True)
+        assert entry is not None
+        assert entry["host_calibration"] > 0
+        for name in entry["results"]:
+            assert len(store.entry_samples(entry, name)) >= 5, name
+
+
+class TestProfiles:
+    def test_write_profile_keeps_all_samples(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_ENV", "prof-env")
+        path = tmp_path / "deep" / "profile.json"
+        seconds = [1.0, 1.2, 0.8, 1.1, 0.9, 1.05]
+        store.write_profile(path, {"s": _result("s", 1000, seconds)},
+                            label="ab-run", quick=True,
+                            timestamp="2026-08-08T00:00:00",
+                            calibration=0.01, commit="deadbeef")
+        doc = store.load_trajectory(path)  # profiles read as trajectories
+        assert doc["schema"] == 2
+        entry = doc["entries"][0]
+        assert entry["label"] == "ab-run"
+        assert entry["commit"] == "deadbeef"
+        assert entry["env"] == "prof-env"
+        assert len(store.entry_samples(entry, "s")) == len(seconds)
+
+    def test_bench_result_samples_property(self):
+        result = _result("s", 1000, [2.0, 4.0])
+        assert result.samples_ops_per_sec == [500.0, 250.0]
+        assert result.to_dict()["samples_ops_per_sec"] == [500.0, 250.0]
+
+    def test_entry_samples_missing_scenario_is_empty(self):
+        assert store.entry_samples({"results": {}}, "nope") == []
+
+    def test_load_missing_file(self, tmp_path):
+        data = store.load_trajectory(tmp_path / "absent.json")
+        assert data == {"schema": 2, "entries": []}
+
+    def test_current_commit_in_this_repo(self):
+        sha = store.current_commit()
+        assert sha is None or (len(sha) >= 7 and sha.strip() == sha)
