@@ -25,6 +25,9 @@ Quickstart::
 
 from .baselines import (
     HWShadowPaging,
+    ICLogging,
+    JASSAdaptive,
+    MsyncSnapshot,
     NoSnapshot,
     PiCL,
     PiCLL2,
@@ -47,7 +50,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "HWShadowPaging",
+    "ICLogging",
+    "JASSAdaptive",
     "Machine",
+    "MsyncSnapshot",
     "NVOverlay",
     "NVOverlayParams",
     "NoSnapshot",

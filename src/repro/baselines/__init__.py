@@ -1,8 +1,12 @@
-"""The paper's comparison points (§VI-B), all as ``SnapshotScheme``s."""
+"""The paper's comparison points (§VI-B) plus the related-work schemes
+(ICL, adaptive JASS, msync Snapshot), all as ``SnapshotScheme``s."""
 
 from ..sim.scheme import NoSnapshot
 from .base import GlobalEpochScheme
 from .hw_shadow import HWShadowPaging
+from .icl import ICLogging
+from .jass import JASSAdaptive
+from .msync import MsyncSnapshot
 from .picl import PiCL, PiCLL2
 from .sw_shadow import SWShadowPaging
 from .sw_undo_log import SWUndoLogging
@@ -10,6 +14,9 @@ from .sw_undo_log import SWUndoLogging
 __all__ = [
     "GlobalEpochScheme",
     "HWShadowPaging",
+    "ICLogging",
+    "JASSAdaptive",
+    "MsyncSnapshot",
     "NoSnapshot",
     "PiCL",
     "PiCLL2",

@@ -59,8 +59,16 @@ class GlobalEpochScheme(SnapshotScheme):
         config = self.machine.config
         if self.global_stores < config.epoch_size_at(self.total_stores):
             return 0
+        committed_stores = self.global_stores
         self.global_stores = 0
         stall = self.commit_epoch(now)
+        if config.epoch_policy is not None:
+            # Dynamic policies (the adaptive controller in particular)
+            # learn from the committed epoch's write set; stateless
+            # policies take this as a no-op.
+            config.epoch_policy.observe_commit(
+                committed_stores, len(self.epoch_write_set)
+            )
         self.write_sets.clear()
         self.epoch_write_set.clear()
         self.epoch += 1

@@ -202,20 +202,28 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     template = RunSpec(workload=args.workload, scheme="ideal",
                        scale=args.scale, seed=args.seed)
-    records = compare(template, jobs=args.jobs, cache=not args.no_cache)
+    scheme_names = args.schemes.split(",") if args.schemes else None
+    records = compare(template, scheme_names,
+                      jobs=args.jobs, cache=not args.no_cache)
+    # Bytes normalize against NVOverlay; with a --schemes subset that
+    # excludes it the column would be meaningless, so drop it.
+    has_norm_bytes = "normalized_write_bytes" in records.get(
+        "nvoverlay", records["ideal"]
+    ).extra
     rows = {
         name: {
             "norm_cycles": rec.extra["normalized_cycles"],
-            "norm_bytes": rec.extra.get("normalized_write_bytes", 0.0),
+            **({"norm_bytes": rec.extra.get("normalized_write_bytes", 0.0)}
+               if has_norm_bytes else {}),
             "nvm_mb": rec.total_nvm_bytes / 1e6,
         }
         for name, rec in records.items()
         if name != "ideal"
     }
+    columns = (["norm_cycles", "norm_bytes", "nvm_mb"] if has_norm_bytes
+               else ["norm_cycles", "nvm_mb"])
     print(report.format_table(
-        f"{args.workload} (scale {args.scale})",
-        ["norm_cycles", "norm_bytes", "nvm_mb"],
-        rows,
+        f"{args.workload} (scale {args.scale})", columns, rows,
     ))
     return 0
 
@@ -270,11 +278,12 @@ def _cmd_diff(args) -> int:
     from .oracle.differential import DEFAULT_SCHEMES
 
     schemes = tuple(args.schemes.split(",")) if args.schemes else DEFAULT_SCHEMES
+    scale = min(args.scale, 0.05) if args.quick else args.scale
     try:
         summary = run_differential(
             args.workload,
             schemes=schemes,
-            scale=args.scale,
+            scale=scale,
             seed=args.seed,
             oracle=args.oracle,
             trace_dir=args.trace_out,
@@ -837,6 +846,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_compare = sub.add_parser("compare", help="run every scheme on a workload")
     common(p_compare)
+    p_compare.add_argument("--schemes", default=None,
+                           help="comma-separated scheme subset "
+                                "(default: all compared schemes)")
     parallel_opts(p_compare)
     p_compare.set_defaults(func=_cmd_compare)
 
@@ -892,6 +904,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--schemes", default=None,
                         help="comma-separated scheme list "
                              "(default: nvoverlay,picl,ideal)")
+    p_diff.add_argument("--quick", action="store_true",
+                        help="cap the scale at 0.05 (CI smoke runs)")
     p_diff.add_argument("--oracle", action="store_true",
                         help="also arm the invariant oracle on every run")
     p_diff.add_argument("--trace-out", default=None, metavar="DIR",

@@ -23,6 +23,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import (
     HWShadowPaging,
+    ICLogging,
+    JASSAdaptive,
+    MsyncSnapshot,
     NoSnapshot,
     PiCL,
     PiCLL2,
@@ -35,7 +38,8 @@ from ..sim.scheme import SnapshotScheme
 from ..workloads import make_workload
 from .spec import RunSpec
 
-#: Scheme registry, in the paper's figure order.
+#: Scheme registry: the paper's figures in order, then the related-work
+#: additions (ICL, adaptive JASS, msync Snapshot).
 SCHEMES: Dict[str, Callable[[], SnapshotScheme]] = {
     "ideal": NoSnapshot,
     "sw_logging": SWUndoLogging,
@@ -43,16 +47,23 @@ SCHEMES: Dict[str, Callable[[], SnapshotScheme]] = {
     "hw_shadow": HWShadowPaging,
     "picl": PiCL,
     "picl_l2": PiCLL2,
+    "icl": ICLogging,
+    "jass_adaptive": JASSAdaptive,
+    "msync_snapshot": MsyncSnapshot,
     "nvoverlay": NVOverlay,
 }
 
-#: The six compared schemes of Fig. 11/12 (ideal is the denominator).
+#: The compared schemes of the Fig. 11/12-style sweeps (ideal is the
+#: denominator): the paper's six plus the three related-work baselines.
 COMPARED_SCHEMES = [
     "sw_logging",
     "sw_shadow",
     "hw_shadow",
     "picl",
     "picl_l2",
+    "icl",
+    "jass_adaptive",
+    "msync_snapshot",
     "nvoverlay",
 ]
 

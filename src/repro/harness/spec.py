@@ -29,6 +29,7 @@ from ..faults.plan import CrashPlan
 from ..serve.policy import ServePolicy
 from ..sim import SystemConfig
 from ..sim.config import (
+    AdaptiveEpochPolicy,
     BurstyEpochPolicy,
     CacheGeometry,
     EpochPolicy,
@@ -54,7 +55,12 @@ from ..sim.config import (
 #: which joins the canonical config dict.  Results are bit-identical
 #: across worker counts, but the engines are distinct code paths and a
 #: cached record must say which one produced it.
-CACHE_SCHEMA_VERSION = 7
+#: 8: SystemConfig grew ``nvm_profile`` (CXL-attached device model),
+#: the epoch-policy serialization gained the "adaptive" kind, and
+#: icl/jass_adaptive/msync_snapshot joined the scheme registry.
+#: Existing cells' behavior is unchanged (their hashes prove it); only
+#: the cache keys move because the canonical config dict grew a field.
+CACHE_SCHEMA_VERSION = 8
 
 
 # --------------------------------------------------------------------------
@@ -72,6 +78,15 @@ def _policy_to_dict(policy: Optional[EpochPolicy]) -> Optional[Dict[str, Any]]:
             "base_size": policy.base_size,
             "bursts": [list(b) for b in policy.bursts],
         }
+    if isinstance(policy, AdaptiveEpochPolicy):
+        return {
+            "kind": "adaptive",
+            "base_size": policy.base_size,
+            "min_size": policy.min_size,
+            "max_size": policy.max_size,
+            "target_dirty_lines": policy.target_dirty_lines,
+            "gain": policy.gain,
+        }
     raise TypeError(
         f"epoch policy {type(policy).__name__} is not JSON-serializable; "
         "custom policies cannot be cached or sent to worker processes "
@@ -88,6 +103,14 @@ def _policy_from_dict(data: Optional[Dict[str, Any]]) -> Optional[EpochPolicy]:
         return BurstyEpochPolicy(
             base_size=data["base_size"],
             bursts=tuple(tuple(b) for b in data["bursts"]),
+        )
+    if data["kind"] == "adaptive":
+        return AdaptiveEpochPolicy(
+            base_size=data["base_size"],
+            min_size=data["min_size"],
+            max_size=data["max_size"],
+            target_dirty_lines=data["target_dirty_lines"],
+            gain=data["gain"],
         )
     raise ValueError(f"unknown epoch policy kind {data['kind']!r}")
 

@@ -6,8 +6,9 @@ scenarios live in one registry that the CLI (``repro load``), the
 harness and the tests discover through; nothing hardcodes scenario
 lists anywhere else.
 
-Every scenario runs the standard two-cell comparison (``ideal`` vs
-``nvoverlay``) through :class:`repro.harness.parallel.ParallelRunner`
+Every scenario runs the standard cell comparison (``ideal`` vs its
+scheme legs — ``nvoverlay`` by default, any registry schemes via
+``Scenario.schemes``) through :class:`repro.harness.parallel.ParallelRunner`
 with latency capture on, so results cache, fan out and report exactly
 like every other experiment.  Crash scenarios additionally compose with
 ``repro.faults``: the run is crashed at a chosen store count, recovery
@@ -19,7 +20,7 @@ traffic window — "node dies mid-burst, recover, resume" as one call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import NVOverlayParams
 from ..faults.plan import CrashPlan
@@ -63,6 +64,8 @@ class Scenario:
     #: Serve concurrent snapshot-reader sessions against the nvoverlay
     #: cell while it runs (see repro.serve).
     serve: bool = False
+    #: Snapshotting schemes run against the ideal leg (one cell each).
+    schemes: Tuple[str, ...] = ("nvoverlay",)
 
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -120,6 +123,13 @@ register_scenario(Scenario(
     "load_burst",
     serve=True,
 ))
+register_scenario(Scenario(
+    "cross_scheme",
+    "steady multi-tenant traffic replayed under nvoverlay and the "
+    "related-work baselines (icl, jass_adaptive, msync_snapshot)",
+    "load_steady",
+    schemes=("nvoverlay", "icl", "jass_adaptive", "msync_snapshot"),
+))
 
 
 @dataclass
@@ -131,7 +141,7 @@ class LoadResult:
     scale: float
     seed: int
     oracle: bool
-    #: Per-scheme records (``ideal`` + ``nvoverlay``), the standard shape.
+    #: Per-scheme records (``ideal`` + the scenario's scheme legs).
     records: Dict[str, RunRecord] = field(default_factory=dict)
     #: Scheme summary rows for ``report.format_table``.
     rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -158,10 +168,20 @@ class LoadResult:
             "compacted": e.get("serve_compacted_versions", 0),
         }
 
+    def _primary(self) -> Optional[RunRecord]:
+        """The nvoverlay leg, or the first scheme leg when absent."""
+        record = self.records.get("nvoverlay")
+        if record is not None:
+            return record
+        for name, rec in self.records.items():
+            if name != "ideal":
+                return rec
+        return None
+
     @property
     def accesses(self) -> int:
         """Total tenant accesses driven (clean run + resumed tail)."""
-        record = self.records.get("nvoverlay")
+        record = self._primary()
         total = int(record.extra.get("tenant_accesses", 0)) if record else 0
         if self.crash is not None:
             total += int(self.crash.get("resumed_accesses", 0))
@@ -169,7 +189,7 @@ class LoadResult:
 
     @property
     def tenants(self) -> int:
-        record = self.records.get("nvoverlay")
+        record = self._primary()
         return int(record.extra.get("tenants", 0)) if record else 0
 
     @property
@@ -301,27 +321,40 @@ def run_scenario(
         scale=scale, seed=seed, capture_latency=True, oracle=oracle,
     )
     runner = ParallelRunner(jobs=jobs or 1, cache=cache, progress=progress)
-    nvo_spec = template.with_changes(scheme="nvoverlay")
-    if scenario.serve:
-        # Readers only make sense against the overlay cell; the ideal
-        # leg stays write-only so norm_cycles isolates the serving cost.
-        nvo_spec = nvo_spec.with_changes(
-            serve=serve or DEFAULT_SERVE_POLICY,
-            nvo_params=nvo_spec.nvo_params or SERVE_NVO_PARAMS,
-        )
-    specs = [template, nvo_spec]
-    ideal, nvo = runner.run(specs)
+    scheme_specs = []
+    for scheme_name in scenario.schemes:
+        leg = template.with_changes(scheme=scheme_name)
+        if scenario.serve and scheme_name == "nvoverlay":
+            # Readers only make sense against the overlay cell; the ideal
+            # leg stays write-only so norm_cycles isolates the serving cost.
+            leg = leg.with_changes(
+                serve=serve or DEFAULT_SERVE_POLICY,
+                nvo_params=leg.nvo_params or SERVE_NVO_PARAMS,
+            )
+        scheme_specs.append(leg)
+    specs = [template] + scheme_specs
+    outcomes = runner.run(specs)
+    ideal, scheme_records = outcomes[0], outcomes[1:]
+    records = {"ideal": ideal}
+    records.update(zip(scenario.schemes, scheme_records))
+    primary = records.get("nvoverlay", scheme_records[0])
     result = LoadResult(
         scenario=name, workload=scenario.workload, scale=scale, seed=seed,
         oracle=oracle,
-        records={"ideal": ideal, "nvoverlay": nvo},
-        rows={"nvoverlay": _scheme_row(nvo, ideal)},
-        class_rows=_class_rows(nvo),
+        records=records,
+        rows={
+            scheme_name: _scheme_row(record, ideal)
+            for scheme_name, record in zip(scenario.schemes, scheme_records)
+        },
+        class_rows=_class_rows(primary),
     )
     if scenario.crash or crash_at is not None:
         fraction = DEFAULT_CRASH_AT if crash_at is None else crash_at
+        crash_spec = specs[1 + list(scenario.schemes).index("nvoverlay")] \
+            if "nvoverlay" in scenario.schemes else specs[1]
         result.crash = _worker_failure(
-            specs[1], fraction, total_stores=nvo.stores,
+            crash_spec, fraction,
+            total_stores=records[crash_spec.scheme].stores,
         )
     return result
 

@@ -11,9 +11,12 @@ from .cache import MESI, CacheArray, CacheLine
 from .config import (
     CACHE_LINE_SHIFT,
     CACHE_LINE_SIZE,
+    NVM_PROFILES,
     PAGE_SHIFT,
     PAGE_SIZE,
+    AdaptiveEpochPolicy,
     CacheGeometry,
+    NVMDeviceProfile,
     SystemConfig,
 )
 from .dram import DRAM
@@ -39,9 +42,12 @@ from .validate import InvariantViolation, validate_hierarchy
 from .wear import WearReport, WearTracker
 
 __all__ = [
+    "AdaptiveEpochPolicy",
     "CACHE_LINE_SHIFT",
     "CACHE_LINE_SIZE",
     "DRAM",
+    "NVMDeviceProfile",
+    "NVM_PROFILES",
     "EVICT_REASONS",
     "Hierarchy",
     "Interconnect",

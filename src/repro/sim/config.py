@@ -28,10 +28,23 @@ class EpochPolicy:
     The default is a fixed size, but time-travel debugging (§VII-E)
     starts bursts of very short epochs around suspicious code regions —
     ``BurstyEpochPolicy`` models exactly that for Fig. 17b.
+    ``AdaptiveEpochPolicy`` closes the Fig. 14 sensitivity loop online:
+    each epoch commit feeds the observed write set back into the next
+    epoch size.
     """
 
     def size_at(self, total_stores: int) -> int:
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop any per-run controller state (called at machine build).
+
+        Stateless policies (fixed, bursty) have nothing to drop; the
+        hook exists so one reset call covers every policy kind.
+        """
+
+    def observe_commit(self, stores: int, dirty_lines: int) -> None:
+        """Feedback from one committed epoch (stateless policies ignore it)."""
 
 
 @dataclass(frozen=True)
@@ -58,6 +71,101 @@ class BurstyEpochPolicy(EpochPolicy):
             if start <= total_stores < end:
                 return size
         return self.base_size
+
+
+@dataclass(frozen=True)
+class AdaptiveEpochPolicy(EpochPolicy):
+    """JASS-style online epoch sizing driven by observed write sets.
+
+    Fig. 14 showed snapshot overhead tracks the *dirty-line* count per
+    epoch far more closely than the raw store count: write-local phases
+    tolerate long epochs cheaply while scattered phases want short ones.
+    This controller closes that loop at run time — every committed epoch
+    reports its write set and the next epoch's size is nudged
+    multiplicatively toward ``target_dirty_lines``.
+
+    The dataclass fields are pure knobs (they form the cache key); the
+    controller's running estimate lives outside the field set and is
+    re-seeded from ``base_size`` at every machine build, so repeated runs
+    of one spec are deterministic.
+    """
+
+    base_size: int = 10_000
+    min_size: int = 500
+    max_size: int = 100_000
+    target_dirty_lines: int = 512
+    #: Fraction of the measured error applied per epoch (0 < gain <= 1).
+    gain: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_size <= self.base_size <= self.max_size):
+            raise ValueError(
+                "adaptive epoch sizes must satisfy "
+                "0 < min_size <= base_size <= max_size"
+            )
+        if self.target_dirty_lines < 1:
+            raise ValueError("target_dirty_lines must be positive")
+        if not (0.0 < self.gain <= 1.0):
+            raise ValueError("gain must be in (0, 1]")
+        self.reset()
+
+    def reset(self) -> None:
+        # Runtime state bypasses the frozen field set on purpose: it
+        # never participates in equality, hashing or serialization.
+        object.__setattr__(self, "_current", self.base_size)
+
+    def size_at(self, total_stores: int) -> int:
+        return self._current  # type: ignore[attr-defined]
+
+    def observe_commit(self, stores: int, dirty_lines: int) -> None:
+        if stores <= 0:
+            return
+        # Epochs that dirtied more than the target shrink, sparser ones
+        # grow; the ratio is clamped so one pathological epoch cannot
+        # swing the controller by more than 4x.
+        ratio = self.target_dirty_lines / max(1, dirty_lines)
+        ratio = min(4.0, max(0.25, ratio))
+        step = 1.0 + self.gain * (ratio - 1.0)
+        nudged = int(self._current * step)  # type: ignore[attr-defined]
+        object.__setattr__(
+            self, "_current", max(self.min_size, min(self.max_size, nudged))
+        )
+
+
+@dataclass(frozen=True)
+class NVMDeviceProfile:
+    """Latency/bandwidth deltas for where the NVM is attached.
+
+    The default profile models the paper's local NVDIMM (all deltas are
+    identity).  The ``cxl`` profile models a CXL-attached memory
+    expander: every access crosses the CXL.mem link (hundreds of extra
+    nanoseconds each way) and the device's effective per-bank bandwidth
+    is roughly halved, so back-pressure engages earlier.
+    """
+
+    name: str
+    #: Added to ``nvm_read_latency`` / ``nvm_write_latency`` (cycles).
+    extra_read_latency: int = 0
+    extra_write_latency: int = 0
+    #: Multiplier on per-bank occupancy (>1 = less device bandwidth).
+    occupancy_scale: float = 1.0
+    #: Multiplier on the back-pressure threshold (<1 = earlier stalls).
+    backpressure_scale: float = 1.0
+
+
+NVM_PROFILES = {
+    "local": NVMDeviceProfile(name="local"),
+    # ~150 ns extra read / ~135 ns extra write for the CXL.mem round
+    # trip at 3 GHz, half the per-bank write bandwidth, and the
+    # back-pressure window tightened to match the slower drain.
+    "cxl": NVMDeviceProfile(
+        name="cxl",
+        extra_read_latency=450,
+        extra_write_latency=400,
+        occupancy_scale=2.0,
+        backpressure_scale=0.5,
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -129,6 +237,9 @@ class SystemConfig:
     nvm_backpressure_cycles: int = 8000
     # Bandwidth accounting bucket width (cycles) for time-series stats.
     nvm_bandwidth_bucket: int = 50_000
+    #: Device attachment profile ("local" or "cxl"); applies the
+    #: ``NVM_PROFILES`` deltas on top of the latency knobs above.
+    nvm_profile: str = "local"
 
     #: Directory capacity per LLC slice, in tracked lines.  None models
     #: an unbounded (perfect) directory; a finite value adds the real
@@ -227,6 +338,11 @@ class SystemConfig:
         if self.working_memory not in ("dram", "nvm"):
             raise ValueError(
                 f"unknown working memory kind {self.working_memory!r}"
+            )
+        if self.nvm_profile not in NVM_PROFILES:
+            raise ValueError(
+                f"unknown NVM device profile {self.nvm_profile!r}; "
+                f"known: {sorted(NVM_PROFILES)}"
             )
         if self.num_sockets < 1 or self.num_cores % self.num_sockets:
             raise ValueError("cores must divide evenly across sockets")

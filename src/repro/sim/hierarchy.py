@@ -31,7 +31,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from .cache import MESI, CacheArray, CacheLine
-from .config import CACHE_LINE_SHIFT, CACHE_LINE_SIZE, SystemConfig
+from .config import (
+    CACHE_LINE_SHIFT,
+    CACHE_LINE_SIZE,
+    AdaptiveEpochPolicy,
+    SystemConfig,
+)
 from .dram import DRAM
 from .interconnect import Interconnect
 from .memory import MainMemory
@@ -110,6 +115,18 @@ class Hierarchy:
         self.snoop = config.coherence_transport == "snoop"
         #: Working data on NVM instead of the DRAM buffer (§III-B).
         self.working_nvm = config.working_memory == "nvm"
+        #: Dynamic epoch policies may carry controller state across a
+        #: run; re-seeding at machine build keeps back-to-back runs that
+        #: share one config object deterministic.  The adaptive policy is
+        #: additionally bound here so ``advance_epoch`` can feed each
+        #: committed epoch's write set back into the next epoch size.
+        if config.epoch_policy is not None:
+            config.epoch_policy.reset()
+        self._adaptive_policy = (
+            config.epoch_policy
+            if isinstance(config.epoch_policy, AdaptiveEpochPolicy)
+            else None
+        )
         #: Batched epoch sync (scale-out mode): coherence-driven advances
         #: move the local epoch register immediately but defer their
         #: cross-VD side effects to the next transaction boundary.  The
@@ -320,6 +337,14 @@ class Hierarchy:
             base = batcher.take(vd.id)
             if base is not None:
                 scheme_old = base
+        adaptive = self._adaptive_policy
+        if adaptive is not None:
+            # Feed the committed epoch back to the controller before the
+            # counters reset: stores this epoch plus the dirty lines its
+            # write set left in the VD's L2 (the quantity Fig. 14 shows
+            # snapshot overhead actually tracks).
+            dirty = sum(1 for entry in vd.l2.iter_lines() if entry.dirty)
+            adaptive.observe_commit(vd.store_count, dirty)
         vd.cur_epoch = new_epoch
         vd.store_count = 0
         stall = self.config.epoch_advance_stall

@@ -20,7 +20,7 @@ so it does three jobs:
 
 from __future__ import annotations
 
-from .config import CACHE_LINE_SIZE, SystemConfig
+from .config import CACHE_LINE_SIZE, NVM_PROFILES, SystemConfig
 from .stats import Stats
 from .wear import WearTracker
 
@@ -38,10 +38,20 @@ class NVM:
         self.stats = stats
         self.name = name
         self.num_banks = config.nvm_banks
-        self.write_latency = config.nvm_write_latency
-        self.read_latency = config.nvm_read_latency
-        self.bank_occupancy = config.nvm_bank_occupancy
-        self.backpressure = config.nvm_backpressure_cycles
+        # Attachment profile: the "local" NVDIMM is the identity; "cxl"
+        # adds the link round-trip to every access and halves the
+        # effective per-bank bandwidth (occupancy doubles, back-pressure
+        # engages earlier).
+        profile = NVM_PROFILES[config.nvm_profile]
+        self.profile = profile
+        self.write_latency = config.nvm_write_latency + profile.extra_write_latency
+        self.read_latency = config.nvm_read_latency + profile.extra_read_latency
+        self.bank_occupancy = max(
+            1, int(config.nvm_bank_occupancy * profile.occupancy_scale)
+        )
+        self.backpressure = int(
+            config.nvm_backpressure_cycles * profile.backpressure_scale
+        )
         self.bandwidth_bucket = config.nvm_bandwidth_bucket
         # Per-bank outstanding-work model: ``_backlog[b]`` cycles of queued
         # transfers, decaying in real time since ``_last[b]``.  A backlog

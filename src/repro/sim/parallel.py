@@ -204,6 +204,10 @@ class ParallelMachine(Machine):
             or self.txn_hook is not None
             or self.capture_latency
             or self.config.sim_workers <= 1
+            # Schemes outside the validated fused/general envelope
+            # (scheme.parallel_safe is False) run the serial engine —
+            # same results, just without the shard front end.
+            or not self.scheme.parallel_safe
         )
 
     def _fused_eligible(self) -> bool:

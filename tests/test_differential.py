@@ -180,6 +180,28 @@ class TestRunDifferential:
         # NVOverlay's snapshots were checked against the store log.
         assert summary["snapshots_checked"]["nvoverlay"]
 
+    @pytest.mark.parametrize(
+        "workload", ["uniform", "btree", "ycsb_a", "hash_table"]
+    )
+    def test_all_eight_schemes_agree_on_frozen_trace(self, workload):
+        """The full registry replays one frozen trace per workload.
+
+        Every scheme — the paper's five baselines, the three related-work
+        additions and nvoverlay — must commit the same stores with the
+        same per-line writer histograms and (on uncontested lines) the
+        same final writer as ``ideal``.  Timing differs wildly between
+        the schemes; the data contract may not.
+        """
+        from repro.harness.runner import SCHEMES
+
+        schemes = ("ideal",) + tuple(s for s in SCHEMES if s != "ideal")
+        summary = run_differential(
+            workload, schemes=schemes, config=SMALL, scale=0.05, seed=1
+        )
+        assert summary["stores"] > 0
+        assert set(summary["schemes"]) == set(SCHEMES)
+        assert summary["snapshots_checked"]["nvoverlay"]
+
     @pytest.mark.parametrize("seed", [2, 3, 4])
     def test_seeded_random_traces_agree(self, seed):
         summary = run_differential(

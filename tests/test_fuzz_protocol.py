@@ -186,6 +186,60 @@ def test_fuzz_parallel_engine_parity(geometry_index):
         )
 
 
+#: The related-work additions, fuzzed against ideal on two geometries
+#: (the 4-core floor and the 16-core single-core-VD batched point).
+NEW_SCHEMES = ("icl", "jass_adaptive", "msync_snapshot")
+NEW_SCHEME_GEOMETRIES = (0, 2)
+
+
+@pytest.mark.parametrize(
+    "geometry_index", NEW_SCHEME_GEOMETRIES,
+    ids=[f"{GEOMETRIES[i][0]}c-{GEOMETRIES[i][1]}pv"
+         for i in NEW_SCHEME_GEOMETRIES],
+)
+def test_fuzz_new_schemes_vs_ideal(geometry_index):
+    """Seeded oracle-armed sweep of icl/jass_adaptive/msync_snapshot.
+
+    Every seed replays one frozen trace under ideal plus all three
+    related-work schemes with the invariant oracle armed; each run's
+    final image must equal its own store-log replay, and every scheme
+    must agree with ideal on store counts, per-line writer histograms
+    and uncontested final writers.  Shares the ``REPRO_FUZZ_SEEDS``
+    striping so a deeper budget deepens this sweep too.
+    """
+    cores, cores_per_vd, sockets, batch = GEOMETRIES[geometry_index]
+    config = SystemConfig.scaled(
+        cores,
+        cores_per_vd=cores_per_vd,
+        num_sockets=sockets,
+        batch_epoch_sync=batch,
+    )
+    for seed in _seeds_for(geometry_index):
+        frozen = freeze_workload(FuzzWorkload(cores, seed))
+        outcomes = []
+        for name in ("ideal",) + NEW_SCHEMES:
+            machine = Machine(
+                config,
+                scheme=make_scheme(name),
+                capture_store_log=True,
+                oracle=ProtocolOracle(),
+            )
+            machine.run(frozen)
+            validate_hierarchy(machine.hierarchy)
+            store_log = machine.hierarchy.store_log or []
+            bad = _image_mismatches(store_log, machine.hierarchy.memory_image())
+            assert bad == 0, (
+                f"seed {seed} ({cores}c): {name} final image disagrees with "
+                f"its own store log on {bad} line(s)"
+            )
+            outcomes.append(summarize_log(name, store_log))
+        mismatches = compare_outcomes(outcomes)
+        assert not mismatches, (
+            f"seed {seed} ({cores}c): new schemes vs ideal disagree:\n"
+            + "\n".join(f"  - {m}" for m in mismatches)
+        )
+
+
 def test_seed_budget_covers_every_geometry():
     """The striping must exhaust the budget with no seed run twice."""
     plans = [_seeds_for(i) for i in range(len(GEOMETRIES))]

@@ -38,18 +38,22 @@ def _cell_id(cell):
     geometry = "" if cores is None else f"-{cores}c"
     if cell.get("batch_epoch_sync"):
         geometry += "-batched"
+    if cell.get("nvm_profile", "local") != "local":
+        geometry += f"-{cell['nvm_profile']}"
     return f"{cell['workload']}-{cell['scheme']}{geometry}"
 
 
 def _cell_config(cell, sim_workers=1):
     """Geometry for a cell: default 16-core unless ``cores`` says else."""
     cores = cell.get("cores")
+    profile = cell.get("nvm_profile", "local")
     if cores is None:
-        if sim_workers == 1:
+        if sim_workers == 1 and profile == "local":
             return None
-        return SystemConfig(sim_workers=sim_workers)
+        return SystemConfig(sim_workers=sim_workers, nvm_profile=profile)
     config = SystemConfig.scaled(
-        cores, batch_epoch_sync=cell.get("batch_epoch_sync", False)
+        cores, batch_epoch_sync=cell.get("batch_epoch_sync", False),
+        nvm_profile=profile,
     )
     if sim_workers != 1:
         config = dataclasses.replace(config, sim_workers=sim_workers)
@@ -84,11 +88,29 @@ def test_fingerprint_matches_seed(cell, sim_workers):
     )
 
 
-def test_fixture_covers_both_schemes_and_three_workloads():
+def test_fixture_covers_all_pinned_schemes_and_three_workloads():
     pairs = {(c["workload"], c["scheme"]) for c in _CELLS}
-    assert len(pairs) >= 6
-    assert {s for _, s in pairs} == {"nvoverlay", "picl"}
+    assert len(pairs) >= 10
+    assert {s for _, s in pairs} == {
+        "nvoverlay", "picl", "icl", "jass_adaptive", "msync_snapshot",
+    }
     assert len({w for w, _ in pairs}) >= 3
+
+
+def test_fixture_pins_the_cxl_device_profile():
+    cxl = [c for c in _CELLS if c.get("nvm_profile") == "cxl"]
+    assert cxl, "no CXL-profile cell in the fixture"
+    # The CXL profile must actually change timing: its fingerprint may
+    # not collide with the same cell on the local profile.
+    for cell in cxl:
+        twins = [
+            c for c in _CELLS
+            if c.get("nvm_profile", "local") == "local"
+            and (c["workload"], c["scheme"], c.get("cores"))
+            == (cell["workload"], cell["scheme"], cell.get("cores"))
+        ]
+        for twin in twins:
+            assert twin["fingerprint"]["cycles"] != cell["fingerprint"]["cycles"]
 
 
 def test_fixture_pins_scaled_geometries():

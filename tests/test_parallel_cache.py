@@ -439,7 +439,7 @@ class TestCLIIntegration:
         # Second invocation is answered entirely from the cache.
         assert main(argv) == 0
         _, err = capsys.readouterr()
-        assert err.count("cached") == 7  # ideal + six compared schemes
+        assert err.count("cached") == 10  # ideal + nine compared schemes
 
     def test_cache_info_and_clear(self, tmp_path, monkeypatch, capsys):
         from repro.cli import main
@@ -469,8 +469,8 @@ class TestCLIIntegration:
         capsys.readouterr()
         assert main(["cache", "info"]) == 0
         out = capsys.readouterr().out
-        assert "all-time hits:  7" in out  # ideal + six compared schemes
-        assert "all-time misses: 7" in out
+        assert "all-time hits:  10" in out  # ideal + nine compared schemes
+        assert "all-time misses: 10" in out
 
     def test_no_cache_flag_bypasses(self, tmp_path, monkeypatch, capsys):
         from repro.cli import main
